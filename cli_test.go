@@ -1,0 +1,124 @@
+package coalloc
+
+// End-to-end tests of the command-line tools: each binary is built once
+// into a temporary directory and driven the way a user would drive it.
+// Skipped under -short.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCommands compiles every cmd/... binary into a shared temp dir.
+func buildCommands(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	dir := t.TempDir()
+	for _, name := range []string{"mcsim", "mcexp", "mctrace", "mcreplay", "mcmodel"} {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Dir = mustRepoRoot(t)
+		if output, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, output)
+		}
+	}
+	return dir
+}
+
+func mustRepoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wd
+}
+
+// run executes a built binary and returns its stdout+stderr.
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %s: %v\n%s", filepath.Base(bin), strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+func TestCLIEndToEnd(t *testing.T) {
+	bins := buildCommands(t)
+	bin := func(name string) string { return filepath.Join(bins, name) }
+
+	t.Run("mcsim", func(t *testing.T) {
+		out := run(t, bin("mcsim"), "-policy", "LS", "-limit", "16", "-util", "0.4",
+			"-jobs", "2000", "-warmup", "200")
+		for _, w := range []string{"policy", "LS", "mean response", "measured gross util", "saturated"} {
+			if !strings.Contains(out, w) {
+				t.Errorf("mcsim output missing %q:\n%s", w, out)
+			}
+		}
+	})
+
+	t.Run("mcsim backlog", func(t *testing.T) {
+		out := run(t, bin("mcsim"), "-policy", "GS", "-limit", "24", "-backlog")
+		if !strings.Contains(out, "max gross util") {
+			t.Errorf("mcsim -backlog output:\n%s", out)
+		}
+	})
+
+	t.Run("mcexp", func(t *testing.T) {
+		out := run(t, bin("mcexp"), "-quick", "table2")
+		if !strings.Contains(out, "0.009") { // the recovered Table 2 entry
+			t.Errorf("mcexp table2 output:\n%s", out)
+		}
+		list := run(t, bin("mcexp"), "list")
+		for _, w := range []string{"fig3", "table3", "backfill"} {
+			if !strings.Contains(list, w) {
+				t.Errorf("mcexp list missing %q", w)
+			}
+		}
+	})
+
+	t.Run("trace pipeline", func(t *testing.T) {
+		swf := filepath.Join(bins, "das.swf")
+		run(t, bin("mctrace"), "gen", "-jobs", "3000", "-o", swf)
+		stats := run(t, bin("mctrace"), "stats", swf)
+		if !strings.Contains(stats, "jobs                3000") {
+			t.Errorf("mctrace stats:\n%s", stats)
+		}
+		filtered := filepath.Join(bins, "das64.swf")
+		run(t, bin("mctrace"), "filter", "-maxsize", "64", "-o", filtered, swf)
+		fstats := run(t, bin("mctrace"), "stats", filtered)
+		if !strings.Contains(fstats, "[1, 64]") {
+			t.Errorf("filtered stats:\n%s", fstats)
+		}
+
+		gantt := filepath.Join(bins, "gantt.csv")
+		replay := run(t, bin("mcreplay"), "-policy", "GS", "-limit", "16",
+			"-load", "2", "-schedule", gantt, filtered)
+		if !strings.Contains(replay, "jobs replayed") || !strings.Contains(replay, "mean response") {
+			t.Errorf("mcreplay output:\n%s", replay)
+		}
+		data, err := os.ReadFile(gantt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(string(data), "id,size,components") {
+			t.Errorf("gantt CSV header: %q", string(data[:30]))
+		}
+	})
+
+	t.Run("mcmodel", func(t *testing.T) {
+		swf := filepath.Join(bins, "model.swf")
+		run(t, bin("mcmodel"), "gen", "-jobs", "2000", "-o", swf)
+		out := run(t, bin("mcreplay"), "-policy", "LS", "-limit", "16", swf)
+		if !strings.Contains(out, "jobs replayed     2000") {
+			t.Errorf("replaying a model trace:\n%s", out)
+		}
+	})
+}

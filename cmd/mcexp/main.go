@@ -1,0 +1,76 @@
+// Command mcexp reproduces the paper's experiments by id.
+//
+// Usage:
+//
+//	mcexp [flags] <experiment>...
+//	mcexp [flags] all
+//	mcexp list
+//
+// Experiments: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 fig6 fig7
+// ratio workload. Use -quick for reduced run lengths, -data DIR to also
+// write CSV files with the plotted points.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"coalloc/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use reduced run lengths (tests, smoke checks)")
+	seed := flag.Uint64("seed", 1, "master random seed")
+	reps := flag.Int("reps", 0, "replications per point (0 = preset default)")
+	measure := flag.Int("jobs", 0, "measured jobs per run (0 = preset default)")
+	dataDir := flag.String("data", "", "directory for CSV output (optional)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mcexp [flags] <experiment>...|all|list\n\nexperiments:\n")
+		for _, n := range experiments.Names() {
+			fmt.Fprintf(os.Stderr, "  %-9s %s\n", n, experiments.Describe(n))
+		}
+		fmt.Fprintf(os.Stderr, "\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if flag.Arg(0) == "list" {
+		for _, n := range experiments.Names() {
+			fmt.Printf("%-9s %s\n", n, experiments.Describe(n))
+		}
+		return
+	}
+
+	params := experiments.DefaultParams()
+	if *quick {
+		params = experiments.QuickParams()
+	}
+	params.Seed = *seed
+	if *reps > 0 {
+		params.Replications = *reps
+	}
+	if *measure > 0 {
+		params.MeasureJobs = *measure
+	}
+	params.DataDir = *dataDir
+	env := experiments.NewEnv(params)
+
+	for _, name := range flag.Args() {
+		var out string
+		var err error
+		if name == "all" {
+			out, err = experiments.All(env)
+		} else {
+			out, err = experiments.Run(name, env)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcexp: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+}

@@ -1,0 +1,133 @@
+// Command mcreplay replays a job trace (Standard Workload Format, or the
+// built-in synthetic DAS log) through a scheduling policy and reports the
+// resulting response times and utilization.
+//
+// Examples:
+//
+//	mcreplay -policy LS -limit 16                 # synthetic DAS log
+//	mcreplay -policy GS -limit 32 -load 2 das.swf # compress gaps 2x
+//	mcreplay -policy SC -clusters 128 das.swf     # single-cluster replay
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"coalloc/internal/cluster"
+	"coalloc/internal/core"
+	"coalloc/internal/dastrace"
+	"coalloc/internal/workload"
+)
+
+func main() {
+	policy := flag.String("policy", "LS", "scheduling policy: GS, GS-EASY, LS, LS-sorted, LP, SC or SC-EASY")
+	limit := flag.Int("limit", 16, "job-component-size limit")
+	load := flag.Float64("load", 1, "load factor: >1 compresses interarrival gaps")
+	ext := flag.Float64("ext", workload.DefaultExtensionFactor, "extension factor for multi-component jobs")
+	seed := flag.Uint64("seed", 1, "routing seed")
+	unbalanced := flag.Bool("unbalanced", false, "unbalanced local-queue routing")
+	clusters := flag.String("clusters", "", "comma-separated cluster sizes (default 32,32,32,32; SC: 128)")
+	jobs := flag.Int("jobs", 0, "replay only the first N jobs (0 = all)")
+	fit := flag.String("fit", "WF", "placement rule: WF, FF or BF")
+	schedule := flag.String("schedule", "", "write the per-job schedule (Gantt CSV) to this file")
+	flag.Parse()
+
+	var recs []dastrace.Record
+	if flag.NArg() == 0 {
+		recs = dastrace.Default()
+	} else {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		recs, err = dastrace.ReadSWF(f)
+		f.Close()
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if *jobs > 0 && *jobs < len(recs) {
+		recs = recs[:*jobs]
+	}
+
+	clusterSizes := []int{32, 32, 32, 32}
+	if *policy == "SC" || *policy == "SC-EASY" {
+		clusterSizes = []int{128}
+	}
+	if *clusters != "" {
+		clusterSizes = nil
+		for _, fld := range strings.Split(*clusters, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(fld))
+			if err != nil || n <= 0 {
+				fatalf("bad -clusters value %q", fld)
+			}
+			clusterSizes = append(clusterSizes, n)
+		}
+	}
+
+	componentLimit := *limit
+	if *policy == "SC" || *policy == "SC-EASY" {
+		// Total requests: never split.
+		componentLimit = clusterSizes[0]
+	}
+
+	var fitRule cluster.Fit
+	switch strings.ToUpper(*fit) {
+	case "WF":
+		fitRule = cluster.WorstFit
+	case "FF":
+		fitRule = cluster.FirstFit
+	case "BF":
+		fitRule = cluster.BestFit
+	default:
+		fatalf("unknown fit rule %q", *fit)
+	}
+
+	var weights []float64
+	if *unbalanced {
+		weights = core.Unbalanced(len(clusterSizes))
+	}
+
+	cfg := core.ReplayConfig{
+		ClusterSizes:    clusterSizes,
+		Records:         recs,
+		Policy:          *policy,
+		Fit:             fitRule,
+		ComponentLimit:  componentLimit,
+		ExtensionFactor: *ext,
+		LoadFactor:      *load,
+		QueueWeights:    weights,
+		Seed:            *seed,
+	}
+	if *schedule != "" {
+		f, err := os.Create(*schedule)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		cfg.ScheduleWriter = f
+	}
+	res, err := core.Replay(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("policy            %s\n", res.Policy)
+	fmt.Printf("jobs replayed     %d\n", res.Jobs)
+	fmt.Printf("makespan          %.0f s (%.1f days)\n", res.Makespan, res.Makespan/86400)
+	fmt.Printf("gross utilization %.4f\n", res.GrossUtilization)
+	fmt.Printf("net utilization   %.4f\n", res.NetUtilization)
+	fmt.Printf("mean response     %.1f s\n", res.MeanResponse)
+	fmt.Printf("median response   %.1f s\n", res.MedianResponse)
+	fmt.Printf("p95 response      %.1f s\n", res.P95Response)
+	fmt.Printf("mean slowdown     %.2f\n", res.MeanSlowdown)
+	fmt.Printf("max queue         %d\n", res.MaxQueue)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mcreplay: "+format+"\n", args...)
+	os.Exit(1)
+}

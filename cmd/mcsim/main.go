@@ -1,0 +1,174 @@
+// Command mcsim runs one multicluster co-allocation simulation with
+// explicit parameters and prints its metrics.
+//
+// Examples:
+//
+//	mcsim -policy LS -limit 16 -util 0.5
+//	mcsim -policy SC -util 0.6 -jobs 50000
+//	mcsim -policy LP -limit 32 -unbalanced -util 0.45
+//	mcsim -policy GS -limit 24 -backlog    # maximal-utilization run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"coalloc/internal/cluster"
+	"coalloc/internal/core"
+	"coalloc/internal/workload"
+)
+
+func main() {
+	policy := flag.String("policy", "LS", "scheduling policy: GS, GS-EASY, LS, LS-sorted, LP, SC or SC-EASY")
+	limit := flag.Int("limit", 16, "job-component-size limit (16, 24 or 32 in the paper)")
+	util := flag.Float64("util", 0.5, "offered gross utilization")
+	jobs := flag.Int("jobs", 30000, "measured jobs")
+	warmup := flag.Int("warmup", 3000, "warmup jobs")
+	seed := flag.Uint64("seed", 1, "random seed")
+	reps := flag.Int("reps", 1, "replications")
+	cap64 := flag.Bool("cap64", false, "use the DAS-s-64 size distribution (total sizes cut at 64)")
+	unbalanced := flag.Bool("unbalanced", false, "route 40%/20%/20%/20% of jobs to the local queues")
+	ext := flag.Float64("ext", workload.DefaultExtensionFactor, "wide-area extension factor for multi-component jobs")
+	fit := flag.String("fit", "WF", "placement rule: WF, FF or BF")
+	clusters := flag.String("clusters", "", "comma-separated cluster sizes (default 32,32,32,32; SC uses 128)")
+	backlog := flag.Bool("backlog", false, "run a constant-backlog (maximal utilization) simulation instead")
+	flag.Parse()
+
+	der := workload.DeriveDefault()
+	sizes := der.Sizes128
+	if *cap64 {
+		sizes = der.Sizes64
+	}
+
+	clusterSizes := []int{32, 32, 32, 32}
+	if *policy == "SC" || *policy == "SC-EASY" {
+		clusterSizes = []int{128}
+	}
+	if *clusters != "" {
+		clusterSizes = nil
+		for _, f := range strings.Split(*clusters, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n <= 0 {
+				fatalf("bad -clusters value %q", f)
+			}
+			clusterSizes = append(clusterSizes, n)
+		}
+	}
+
+	spec := workload.Spec{
+		Sizes:           sizes,
+		Service:         der.Service,
+		ComponentLimit:  *limit,
+		Clusters:        len(clusterSizes),
+		ExtensionFactor: *ext,
+	}
+	if *policy == "SC" || *policy == "SC-EASY" {
+		spec.ComponentLimit = sizes.Max() // total requests: never split
+	}
+
+	var fitRule cluster.Fit
+	switch strings.ToUpper(*fit) {
+	case "WF":
+		fitRule = cluster.WorstFit
+	case "FF":
+		fitRule = cluster.FirstFit
+	case "BF":
+		fitRule = cluster.BestFit
+	default:
+		fatalf("unknown fit rule %q (want WF, FF or BF)", *fit)
+	}
+
+	var weights []float64
+	if *unbalanced {
+		weights = core.Unbalanced(len(clusterSizes))
+	}
+
+	if *backlog {
+		res, err := core.RunBacklog(core.BacklogConfig{
+			ClusterSizes: clusterSizes,
+			Spec:         spec,
+			Policy:       *policy,
+			Fit:          fitRule,
+			QueueWeights: weights,
+			Seed:         *seed,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("policy              %s (constant backlog)\n", res.Policy)
+		fmt.Printf("max gross util      %.4f\n", res.MaxGrossUtilization)
+		fmt.Printf("max net util        %.4f\n", res.MaxNetUtilization)
+		fmt.Printf("throughput          %.5f jobs/s\n", res.Throughput)
+		fmt.Printf("jobs measured       %d\n", res.Jobs)
+		return
+	}
+
+	var capacity int
+	for _, s := range clusterSizes {
+		capacity += s
+	}
+	cfg := core.Config{
+		ClusterSizes: clusterSizes,
+		Spec:         spec,
+		Policy:       *policy,
+		Fit:          fitRule,
+		ArrivalRate:  spec.ArrivalRateForGrossUtilization(*util, capacity),
+		QueueWeights: weights,
+		WarmupJobs:   *warmup,
+		MeasureJobs:  *jobs,
+		Seed:         *seed,
+	}
+	res, err := core.RunReplications(cfg, *reps)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("policy              %s\n", res.Policy)
+	fmt.Printf("offered gross util  %.4f\n", res.OfferedGross)
+	fmt.Printf("measured gross util %.4f\n", res.GrossUtilization)
+	fmt.Printf("measured net util   %.4f\n", res.NetUtilization)
+	fmt.Printf("mean response       %.1f s (95%% +- %.1f)\n", res.MeanResponse, res.RespHalfWidth)
+	fmt.Printf("  local queues      %s\n", fmtNaN(res.MeanResponseLocal))
+	fmt.Printf("  global queue      %s\n", fmtNaN(res.MeanResponseGlobal))
+	fmt.Printf("median response     %s\n", fmtNaN(res.MedianResponse))
+	fmt.Printf("p95 response        %s\n", fmtNaN(res.P95Response))
+	fmt.Printf("mean slowdown       %.2f\n", res.MeanSlowdown)
+	fmt.Printf("jobs in system      %.1f (Little: lambda*W = %.1f)\n",
+		res.MeanJobsInSystem, res.Throughput*res.MeanResponse)
+	fmt.Printf("per-cluster util    %s (imbalance %.3f)\n",
+		formatUtils(res.PerClusterUtilization), res.UtilizationImbalance)
+	fmt.Printf("resp by size class  %s\n", formatClasses(res.ResponseBySizeClass))
+	fmt.Printf("jobs measured       %d\n", res.Jobs)
+	fmt.Printf("queue at end        %d\n", res.FinalQueue)
+	fmt.Printf("saturated           %v\n", res.Saturated)
+}
+
+func formatUtils(us []float64) string {
+	parts := make([]string, len(us))
+	for i, u := range us {
+		parts[i] = fmt.Sprintf("%.3f", u)
+	}
+	return strings.Join(parts, " ")
+}
+
+func formatClasses(vs []float64) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = fmt.Sprintf("%s:%s", core.SizeClassLabel(i), fmtNaN(v))
+	}
+	return strings.Join(parts, "  ")
+}
+
+func fmtNaN(v float64) string {
+	if v != v {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f s", v)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mcsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+// Heterogeneous clusters (beyond the paper's experiments, within its
+// model): the paper simulates four equal clusters of 32 processors, but
+// its model explicitly allows "clusters of possibly different sizes" — and
+// the real DAS2 consisted of one 72-node and four 32-node clusters. This
+// example runs the paper's policies on the actual DAS2 layout and on an
+// equal-capacity homogeneous split, showing how the large cluster absorbs
+// big components and shifts the LS/GS comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"coalloc/internal/core"
+	"coalloc/internal/workload"
+)
+
+func main() {
+	der := workload.DeriveDefault()
+
+	layouts := []struct {
+		name     string
+		clusters []int
+		weights  []float64 // local-queue routing; nil = balanced
+	}{
+		{"DAS2 (72+4x32), balanced routing", []int{72, 32, 32, 32, 32}, nil},
+		{"DAS2 (72+4x32), size-proportional routing", []int{72, 32, 32, 32, 32},
+			[]float64{72, 32, 32, 32, 32}},
+		{"homogeneous 5x40", []int{40, 40, 40, 40, 40}, nil},
+	}
+
+	for _, layout := range layouts {
+		capacity := 0
+		for _, c := range layout.clusters {
+			capacity += c
+		}
+		spec := workload.Spec{
+			Sizes:           der.Sizes128,
+			Service:         der.Service,
+			ComponentLimit:  16,
+			Clusters:        len(layout.clusters),
+			ExtensionFactor: workload.DefaultExtensionFactor,
+		}
+		fmt.Printf("%s — %d processors in %d clusters\n", layout.name, capacity, len(layout.clusters))
+		fmt.Println("util    GS          LS          LP")
+		for _, util := range []float64{0.50, 0.60, 0.70} {
+			fmt.Printf("%.2f", util)
+			for _, policy := range []string{"GS", "LS", "LP"} {
+				cfg := core.Config{
+					ClusterSizes: layout.clusters,
+					Spec:         spec,
+					Policy:       policy,
+					QueueWeights: layout.weights,
+					WarmupJobs:   1500,
+					MeasureJobs:  15000,
+					Seed:         31,
+				}
+				res, err := core.RunAtUtilization(cfg, util)
+				if err != nil {
+					log.Fatal(err)
+				}
+				mark := " "
+				if res.Saturated {
+					mark = "*"
+				}
+				fmt.Printf("  %8.0f%s ", res.MeanResponse, mark)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+	fmt.Println("(* marks saturation. With a component-size limit of 16 no component")
+	fmt.Println("actually needs the 72-node cluster, so heterogeneity buys nothing by")
+	fmt.Println("itself; under balanced routing LS even ties too many single-component")
+	fmt.Println("jobs to the small clusters. Size-proportional routing recovers much of")
+	fmt.Println("the gap, and the equal-capacity homogeneous split remains best —")
+	fmt.Println("fragmentation, not cluster size, dominates at these limits.)")
+}

@@ -1,0 +1,80 @@
+// Extension factor sweep (beyond the paper): the paper concludes that
+// "co-allocation remains a viable option while the duration of the global
+// communication is covered by an extension factor of 1.25". This example
+// sweeps the extension factor and measures, under a constant backlog, the
+// maximal net utilization the multicluster LS policy can sustain — the
+// real computational throughput after paying for wide-area communication —
+// against the single-cluster reference. Where LS's maximal net utilization
+// falls clearly below SC's, co-allocation stops paying off.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"coalloc/internal/core"
+	"coalloc/internal/workload"
+)
+
+func main() {
+	der := workload.DeriveDefault()
+	const limit = 16
+
+	// SC reference: total requests on one 128-processor cluster; no
+	// wide-area communication, so gross and net utilization coincide.
+	scSpec := workload.Spec{
+		Sizes:           der.Sizes128,
+		Service:         der.Service,
+		ComponentLimit:  der.Sizes128.Max(),
+		Clusters:        1,
+		ExtensionFactor: 1,
+	}
+	scRes, err := core.RunBacklog(core.BacklogConfig{
+		ClusterSizes: []int{128},
+		Spec:         scSpec,
+		Policy:       "SC",
+		WarmupTime:   50_000,
+		MeasureTime:  400_000,
+		Seed:         9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SC reference: maximal utilization %.3f\n\n", scRes.MaxGrossUtilization)
+
+	fmt.Println("ext     LS max gross   LS max net   net vs SC")
+	fmt.Println("----------------------------------------------")
+	for _, ext := range []float64{1.00, 1.10, 1.20, 1.25, 1.30, 1.40, 1.50} {
+		spec := workload.Spec{
+			Sizes:           der.Sizes128,
+			Service:         der.Service,
+			ComponentLimit:  limit,
+			Clusters:        4,
+			ExtensionFactor: ext,
+		}
+		res, err := core.RunBacklog(core.BacklogConfig{
+			ClusterSizes: []int{32, 32, 32, 32},
+			Spec:         spec,
+			Policy:       "LS",
+			WarmupTime:   50_000,
+			MeasureTime:  400_000,
+			Seed:         9,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		delta := res.MaxNetUtilization - scRes.MaxGrossUtilization
+		verdict := "co-allocation viable"
+		if delta < -0.10 {
+			verdict = "clearly behind SC"
+		} else if delta < -0.03 {
+			verdict = "paying for wide-area"
+		}
+		fmt.Printf("%.2f    %12.3f   %10.3f   %+.3f  %s\n",
+			ext, res.MaxGrossUtilization, res.MaxNetUtilization, delta, verdict)
+	}
+	fmt.Println("\nLS's maximal gross utilization barely moves with the extension factor —")
+	fmt.Println("the processors stay busy — but the net (computational) share shrinks.")
+	fmt.Println("Around the paper's 1.25 the net loss versus SC is still moderate;")
+	fmt.Println("well beyond it, co-allocation stops paying off.")
+}

@@ -1,0 +1,79 @@
+// Policy comparison: the paper's headline experiment in miniature. Runs
+// GS, LS, LP on the multicluster and FCFS on the single-cluster reference
+// at a series of offered loads, printing the mean response times side by
+// side — the data behind one panel of Fig. 3.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"coalloc/internal/core"
+	"coalloc/internal/workload"
+)
+
+func main() {
+	der := workload.DeriveDefault()
+	const limit = 16
+
+	multiSpec := workload.Spec{
+		Sizes:           der.Sizes128,
+		Service:         der.Service,
+		ComponentLimit:  limit,
+		Clusters:        4,
+		ExtensionFactor: workload.DefaultExtensionFactor,
+	}
+	scSpec := workload.Spec{
+		Sizes:           der.Sizes128,
+		Service:         der.Service,
+		ComponentLimit:  der.Sizes128.Max(), // total requests: one component
+		Clusters:        1,
+		ExtensionFactor: workload.DefaultExtensionFactor,
+	}
+
+	type system struct {
+		policy   string
+		clusters []int
+		spec     workload.Spec
+	}
+	systems := []system{
+		{"SC", []int{128}, scSpec},
+		{"GS", []int{32, 32, 32, 32}, multiSpec},
+		{"LS", []int{32, 32, 32, 32}, multiSpec},
+		{"LP", []int{32, 32, 32, 32}, multiSpec},
+	}
+
+	fmt.Printf("component-size limit %d, balanced local queues\n\n", limit)
+	fmt.Printf("%-6s", "util")
+	for _, s := range systems {
+		fmt.Printf("%10s", s.policy)
+	}
+	fmt.Println("\n" + "----------------------------------------------")
+	for _, util := range []float64{0.30, 0.40, 0.50, 0.55, 0.60} {
+		fmt.Printf("%-6.2f", util)
+		for _, s := range systems {
+			cfg := core.Config{
+				ClusterSizes: s.clusters,
+				Spec:         s.spec,
+				Policy:       s.policy,
+				WarmupJobs:   1500,
+				MeasureJobs:  15000,
+				Seed:         11,
+			}
+			res, err := core.RunAtUtilization(cfg, util)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mark := ""
+			if res.Saturated {
+				mark = "*"
+			}
+			fmt.Printf("%9.0f%s", res.MeanResponse, mark)
+			if mark == "" {
+				fmt.Print(" ")
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nmean response time in seconds; * marks a saturated (unstable) point")
+}

@@ -1,0 +1,68 @@
+// Saturation: measures the maximal gross and net utilization of each
+// policy under a constant backlog (Section 4 / Table 3 of the paper). The
+// paper applies the method to the single-global-queue policies GS and SC;
+// the multi-queue policies are included here for completeness.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"coalloc/internal/core"
+	"coalloc/internal/workload"
+)
+
+func main() {
+	der := workload.DeriveDefault()
+
+	fmt.Println("maximal utilization under constant backlog")
+	fmt.Println()
+	fmt.Println("policy  limit   max gross   max net")
+	fmt.Println("-------------------------------------")
+	for _, limit := range []int{16, 24, 32} {
+		spec := workload.Spec{
+			Sizes:           der.Sizes128,
+			Service:         der.Service,
+			ComponentLimit:  limit,
+			Clusters:        4,
+			ExtensionFactor: workload.DefaultExtensionFactor,
+		}
+		for _, policy := range []string{"GS", "LS", "LP"} {
+			res, err := core.RunBacklog(core.BacklogConfig{
+				ClusterSizes: []int{32, 32, 32, 32},
+				Spec:         spec,
+				Policy:       policy,
+				WarmupTime:   50_000,
+				MeasureTime:  400_000,
+				Seed:         5,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-6s  %5d   %9.3f   %7.3f\n",
+				policy, limit, res.MaxGrossUtilization, res.MaxNetUtilization)
+		}
+	}
+
+	// The single-cluster reference schedules total requests; gross and
+	// net utilization coincide (no wide-area communication).
+	scSpec := workload.Spec{
+		Sizes:           der.Sizes128,
+		Service:         der.Service,
+		ComponentLimit:  der.Sizes128.Max(),
+		Clusters:        1,
+		ExtensionFactor: workload.DefaultExtensionFactor,
+	}
+	res, err := core.RunBacklog(core.BacklogConfig{
+		ClusterSizes: []int{128},
+		Spec:         scSpec,
+		Policy:       "SC",
+		WarmupTime:   50_000,
+		MeasureTime:  400_000,
+		Seed:         5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-6s  %5s   %9.3f   %7.3f\n", "SC", "-", res.MaxGrossUtilization, res.MaxGrossUtilization)
+}

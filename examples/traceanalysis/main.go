@@ -1,0 +1,48 @@
+// Trace analysis: builds the synthetic DAS log, writes it in Standard
+// Workload Format, reads it back, and prints the Section 2.4 statistics —
+// Table 1, the Fig. 1 size density and the Fig. 2 service-time histogram.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"coalloc/internal/dastrace"
+)
+
+func main() {
+	recs := dastrace.Default()
+
+	// Round-trip through the SWF trace format, as a consumer of a real
+	// archive trace would.
+	var buf bytes.Buffer
+	if err := dastrace.WriteSWF(&buf, recs, "Synthetic DAS1-like log"); err != nil {
+		log.Fatal(err)
+	}
+	parsed, err := dastrace.ReadSWF(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SWF round trip: wrote %d jobs, read back %d\n\n", len(recs), len(parsed))
+
+	ls := dastrace.Analyze(parsed)
+	fmt.Printf("jobs %d, %d distinct sizes in [%d, %d], mean size %.2f (CV %.2f)\n",
+		ls.Jobs, ls.DistinctSizes, ls.MinSize, ls.MaxSize, ls.MeanSize, ls.SizeCV)
+	fmt.Printf("mean service %.1f s (CV %.2f); %.1f%% of jobs below the 900 s kill limit\n\n",
+		ls.MeanService, ls.ServiceCV, 100*ls.FracServiceUnderKill)
+
+	fmt.Println(dastrace.FormatTable1(ls))
+
+	fmt.Println("service-time density, cut at 900 s (Fig. 2):")
+	h := dastrace.ServiceHistogram(parsed, 900, 18)
+	fmt.Print(h.Render(48))
+
+	fmt.Println("\nlargest size spikes (Fig. 1):")
+	sizes, counts := dastrace.SizeDensity(parsed)
+	for i, s := range sizes {
+		if counts[i] > int64(len(parsed)/50) {
+			fmt.Printf("  size %3d: %5d jobs\n", s, counts[i])
+		}
+	}
+}

@@ -1,0 +1,270 @@
+// Package cluster models the multicluster's processors: per-cluster idle
+// counts, allocation and release, and the placement rules that decide which
+// clusters receive the components of an unordered request.
+//
+// The paper's rule (Section 2.3): try to schedule the components in
+// decreasing order of their sizes on distinct clusters, choosing clusters
+// by Worst Fit — the cluster with the largest number of idle processors.
+// First Fit and Best Fit are provided for the ablation benchmarks.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Fit selects a placement rule.
+type Fit int
+
+// Placement rules.
+const (
+	WorstFit Fit = iota // largest idle count first (the paper's rule)
+	FirstFit            // lowest cluster index that fits
+	BestFit             // smallest sufficient idle count
+)
+
+// String returns the rule name.
+func (f Fit) String() string {
+	switch f {
+	case WorstFit:
+		return "WF"
+	case FirstFit:
+		return "FF"
+	case BestFit:
+		return "BF"
+	default:
+		return fmt.Sprintf("Fit(%d)", int(f))
+	}
+}
+
+// Multicluster tracks the processors of C clusters.
+type Multicluster struct {
+	sizes []int
+	idle  []int
+	busy  int // total busy processors, cached
+	cap   int
+}
+
+// New returns a multicluster with the given per-cluster processor counts.
+func New(sizes []int) *Multicluster {
+	if len(sizes) == 0 {
+		panic("cluster: New with no clusters")
+	}
+	m := &Multicluster{
+		sizes: make([]int, len(sizes)),
+		idle:  make([]int, len(sizes)),
+	}
+	for i, s := range sizes {
+		if s <= 0 {
+			panic(fmt.Sprintf("cluster: cluster %d has non-positive size %d", i, s))
+		}
+		m.sizes[i] = s
+		m.idle[i] = s
+		m.cap += s
+	}
+	return m
+}
+
+// Uniform returns a multicluster of n clusters with size processors each.
+func Uniform(n, size int) *Multicluster {
+	sizes := make([]int, n)
+	for i := range sizes {
+		sizes[i] = size
+	}
+	return New(sizes)
+}
+
+// NumClusters returns the number of clusters.
+func (m *Multicluster) NumClusters() int { return len(m.sizes) }
+
+// Capacity returns the total number of processors.
+func (m *Multicluster) Capacity() int { return m.cap }
+
+// Size returns the processor count of cluster c.
+func (m *Multicluster) Size(c int) int { return m.sizes[c] }
+
+// Idle returns the idle processor count of cluster c.
+func (m *Multicluster) Idle(c int) int { return m.idle[c] }
+
+// Busy returns the total number of busy processors.
+func (m *Multicluster) Busy() int { return m.busy }
+
+// TotalIdle returns the total number of idle processors.
+func (m *Multicluster) TotalIdle() int { return m.cap - m.busy }
+
+// Place chooses distinct clusters for the components (which must be in
+// nonincreasing order) under the given fit rule. It returns the cluster
+// index per component and true, or nil and false when the request does not
+// fit. Place does not allocate; pair it with Alloc.
+func (m *Multicluster) Place(components []int, fit Fit) ([]int, bool) {
+	if len(components) == 0 {
+		panic("cluster: Place with no components")
+	}
+	if len(components) > len(m.sizes) {
+		return nil, false
+	}
+	placement := make([]int, len(components))
+	used := make([]bool, len(m.sizes))
+	for ci, need := range components {
+		best := -1
+		for c := range m.sizes {
+			if used[c] || m.idle[c] < need {
+				continue
+			}
+			switch fit {
+			case WorstFit:
+				if best < 0 || m.idle[c] > m.idle[best] {
+					best = c
+				}
+			case BestFit:
+				if best < 0 || m.idle[c] < m.idle[best] {
+					best = c
+				}
+			case FirstFit:
+				if best < 0 {
+					best = c
+				}
+			default:
+				panic(fmt.Sprintf("cluster: unknown fit rule %d", int(fit)))
+			}
+			if fit == FirstFit && best >= 0 {
+				break
+			}
+		}
+		if best < 0 {
+			return nil, false
+		}
+		used[best] = true
+		placement[ci] = best
+	}
+	return placement, true
+}
+
+// Fits reports whether the components could be placed right now under the
+// given fit rule, without allocating.
+//
+// Note that with distinct-cluster placement, greedy fitting of the largest
+// component to the emptiest cluster is exactly what the paper's scheduler
+// does; Fits deliberately reproduces that greedy test rather than solving
+// the (bipartite matching) feasibility problem optimally.
+func (m *Multicluster) Fits(components []int, fit Fit) bool {
+	_, ok := m.Place(components, fit)
+	return ok
+}
+
+// FitsOn reports whether a single component of the given size fits on
+// cluster c.
+func (m *Multicluster) FitsOn(c, size int) bool { return m.idle[c] >= size }
+
+// FitsOrdered reports whether components fit on the fixed clusters named
+// by placement (an ordered request). The placement must name distinct
+// clusters.
+func (m *Multicluster) FitsOrdered(components, placement []int) bool {
+	if len(components) != len(placement) {
+		panic(fmt.Sprintf("cluster: FitsOrdered with %d components but %d placements",
+			len(components), len(placement)))
+	}
+	for i, c := range placement {
+		if c < 0 || c >= len(m.sizes) {
+			panic(fmt.Sprintf("cluster: FitsOrdered names cluster %d of %d", c, len(m.sizes)))
+		}
+		if m.idle[c] < components[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CarveFlexible splits a flexible request of the given total size over the
+// clusters, taking greedily from the cluster with the most idle processors
+// first (Worst Fit in spirit: it keeps the load spread). It returns the
+// chosen component sizes (nonincreasing) with their clusters, or ok=false
+// when the total exceeds the idle capacity of the whole system.
+func (m *Multicluster) CarveFlexible(total int) (components, placement []int, ok bool) {
+	if total <= 0 {
+		panic(fmt.Sprintf("cluster: CarveFlexible(%d)", total))
+	}
+	if total > m.TotalIdle() {
+		return nil, nil, false
+	}
+	// Order clusters by idle count, descending (stable by index).
+	order := make([]int, len(m.sizes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return m.idle[order[a]] > m.idle[order[b]]
+	})
+	remaining := total
+	for _, c := range order {
+		if remaining == 0 {
+			break
+		}
+		take := m.idle[c]
+		if take > remaining {
+			take = remaining
+		}
+		if take == 0 {
+			continue
+		}
+		components = append(components, take)
+		placement = append(placement, c)
+		remaining -= take
+	}
+	return components, placement, true
+}
+
+// Alloc takes the processors named by placement: components[i] processors
+// on cluster placement[i]. It panics if the allocation is infeasible or the
+// placement reuses a cluster, catching scheduler bugs at their source.
+func (m *Multicluster) Alloc(components, placement []int) {
+	if len(components) != len(placement) {
+		panic(fmt.Sprintf("cluster: Alloc with %d components but %d placements",
+			len(components), len(placement)))
+	}
+	seen := make([]bool, len(m.sizes))
+	for i, c := range placement {
+		if c < 0 || c >= len(m.sizes) {
+			panic(fmt.Sprintf("cluster: Alloc placement %d names cluster %d of %d", i, c, len(m.sizes)))
+		}
+		if seen[c] {
+			panic(fmt.Sprintf("cluster: Alloc places two components on cluster %d", c))
+		}
+		seen[c] = true
+		if m.idle[c] < components[i] {
+			panic(fmt.Sprintf("cluster: Alloc of %d on cluster %d with %d idle",
+				components[i], c, m.idle[c]))
+		}
+	}
+	for i, c := range placement {
+		m.idle[c] -= components[i]
+		m.busy += components[i]
+	}
+}
+
+// Release returns the processors named by placement. It panics on
+// over-release.
+func (m *Multicluster) Release(components, placement []int) {
+	if len(components) != len(placement) {
+		panic(fmt.Sprintf("cluster: Release with %d components but %d placements",
+			len(components), len(placement)))
+	}
+	for i, c := range placement {
+		if m.idle[c]+components[i] > m.sizes[c] {
+			panic(fmt.Sprintf("cluster: Release of %d on cluster %d exceeds size %d",
+				components[i], c, m.sizes[c]))
+		}
+	}
+	for i, c := range placement {
+		m.idle[c] += components[i]
+		m.busy -= components[i]
+	}
+}
+
+// Reset marks every processor idle.
+func (m *Multicluster) Reset() {
+	for i := range m.idle {
+		m.idle[i] = m.sizes[i]
+	}
+	m.busy = 0
+}

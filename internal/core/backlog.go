@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+
+	"coalloc/internal/cluster"
+	"coalloc/internal/policies"
+	"coalloc/internal/rng"
+	"coalloc/internal/sim"
+	"coalloc/internal/stats"
+	"coalloc/internal/workload"
+)
+
+// BacklogConfig describes a closed-system run that measures the maximal
+// utilization of a policy, following Section 4 of the paper: "we maintain
+// a constant backlog and observe the time-average fraction of processors
+// being busy, which yields the maximal gross utilization".
+type BacklogConfig struct {
+	// ClusterSizes, Spec, Policy, Fit, QueueWeights: as in Config.
+	ClusterSizes []int
+	Spec         workload.Spec
+	Policy       string
+	Fit          cluster.Fit
+	QueueWeights []float64
+	// Backlog is the number of jobs kept waiting at all times. Default 64.
+	Backlog int
+	// WarmupTime and MeasureTime bound the run in virtual seconds.
+	// Defaults: 50_000 and 500_000.
+	WarmupTime, MeasureTime float64
+	// Seed selects the random streams.
+	Seed uint64
+}
+
+func (c *BacklogConfig) applyDefaults() {
+	if c.Backlog == 0 {
+		c.Backlog = 64
+	}
+	if c.WarmupTime == 0 {
+		c.WarmupTime = 50_000
+	}
+	if c.MeasureTime == 0 {
+		c.MeasureTime = 500_000
+	}
+}
+
+// BacklogResult reports the maximal utilizations measured under constant
+// backlog.
+type BacklogResult struct {
+	Policy string
+	// MaxGrossUtilization is the time-average fraction of busy
+	// processors, counting extended service times.
+	MaxGrossUtilization float64
+	// MaxNetUtilization removes the wide-area communication share using
+	// the workload's gross/net ratio, as the paper does ("the maximal
+	// net utilizations are then computed with the ratios between the
+	// two types of utilization").
+	MaxNetUtilization float64
+	// Throughput is the measured departure rate in jobs per second.
+	Throughput float64
+	// Jobs is the number of departures in the measurement window.
+	Jobs int
+}
+
+// RunBacklog executes a constant-backlog simulation.
+func RunBacklog(cfg BacklogConfig) (BacklogResult, error) {
+	cfg.applyDefaults()
+	if len(cfg.ClusterSizes) == 0 {
+		return BacklogResult{}, fmt.Errorf("core: no clusters configured")
+	}
+	if err := cfg.Spec.Validate(); err != nil {
+		return BacklogResult{}, err
+	}
+	if cfg.Spec.Clusters != len(cfg.ClusterSizes) {
+		return BacklogResult{}, fmt.Errorf("core: spec splits over %d clusters but system has %d",
+			cfg.Spec.Clusters, len(cfg.ClusterSizes))
+	}
+	if cfg.Backlog <= 0 {
+		return BacklogResult{}, fmt.Errorf("core: backlog %d must be positive", cfg.Backlog)
+	}
+	pol, err := buildPolicy(cfg.Policy, len(cfg.ClusterSizes), cfg.Fit)
+	if err != nil {
+		return BacklogResult{}, err
+	}
+
+	src := rng.NewSource(cfg.Seed)
+	sizeStream := src.Stream("backlog/sizes")
+	svcStream := src.Stream("backlog/services")
+	routeStream := src.Stream("backlog/routing")
+
+	weights := cfg.QueueWeights
+	if weights == nil {
+		weights = Balanced(len(cfg.ClusterSizes))
+	}
+	var wsum float64
+	for _, w := range weights {
+		wsum += w
+	}
+	cdf := make([]float64, len(weights))
+	var acc float64
+	for i, w := range weights {
+		acc += w / wsum
+		cdf[i] = acc
+	}
+
+	eng := sim.New()
+	m := cluster.New(cfg.ClusterSizes)
+	s := &backlogSim{eng: eng, m: m, ext: cfg.Spec.ExtensionFactor}
+	s.busy.StartAt(0, 0)
+
+	var nextID int64
+	route := func() int {
+		if len(cdf) == 1 {
+			return 0
+		}
+		u := routeStream.Float64()
+		for i, c := range cdf {
+			if u < c {
+				return i
+			}
+		}
+		return len(cdf) - 1
+	}
+	topUp := func() {
+		for pol.Queued() < cfg.Backlog {
+			j := cfg.Spec.Sample(sizeStream, svcStream)
+			nextID++
+			j.ID = nextID
+			j.ArrivalTime = eng.Now()
+			j.Queue = route()
+			pol.Submit(s, j)
+		}
+	}
+	s.pol = pol
+	s.onDepart = topUp
+
+	topUp()
+	eng.RunUntil(cfg.WarmupTime)
+	s.busy.StartAt(eng.Now(), float64(m.Busy()))
+	s.departures = 0
+	eng.RunUntil(cfg.WarmupTime + cfg.MeasureTime)
+
+	window := eng.Now() - cfg.WarmupTime
+	capacity := float64(m.Capacity())
+	gross := s.busy.Average(eng.Now()) / capacity
+	return BacklogResult{
+		Policy:              cfg.Policy,
+		MaxGrossUtilization: gross,
+		MaxNetUtilization:   gross / cfg.Spec.GrossNetRatio(),
+		Throughput:          float64(s.departures) / window,
+		Jobs:                s.departures,
+	}, nil
+}
+
+// backlogSim is the policies.Ctx for constant-backlog runs.
+type backlogSim struct {
+	eng        *sim.Engine
+	m          *cluster.Multicluster
+	pol        policies.Policy
+	busy       stats.TimeWeighted
+	departures int
+	onDepart   func()
+	ext        float64
+}
+
+var _ policies.Ctx = (*backlogSim)(nil)
+
+func (s *backlogSim) Cluster() *cluster.Multicluster { return s.m }
+
+func (s *backlogSim) Now() float64 { return s.eng.Now() }
+
+func (s *backlogSim) Dispatch(j *workload.Job, placement []int) {
+	now := s.eng.Now()
+	j.StartTime = now
+	j.Placement = placement
+	if j.Type == workload.Flexible {
+		j.FinalizeFlexible(j.Components, s.ext)
+	}
+	s.m.Alloc(j.Components, placement)
+	s.busy.Set(now, float64(s.m.Busy()))
+	s.eng.After(j.ExtendedServiceTime, func() {
+		t := s.eng.Now()
+		j.FinishTime = t
+		s.m.Release(j.Components, j.Placement)
+		s.busy.Set(t, float64(s.m.Busy()))
+		s.departures++
+		s.pol.JobDeparted(s, j)
+		s.onDepart()
+	})
+}

@@ -1,0 +1,234 @@
+// Package core is the simulator proper: it wires the workload model, the
+// multicluster, and a scheduling policy to the discrete-event engine and
+// produces the metrics the paper reports — mean response times (total and
+// per queue), gross and net utilization, and the maximal utilization
+// reached under a constant backlog.
+package core
+
+import (
+	"fmt"
+
+	"coalloc/internal/cluster"
+	"coalloc/internal/policies"
+	"coalloc/internal/workload"
+)
+
+// Config describes one open-system simulation run: Poisson arrivals at a
+// fixed rate into a multicluster under one policy.
+type Config struct {
+	// ClusterSizes gives the processor count of each cluster. The
+	// paper's multicluster is {32, 32, 32, 32}; the SC reference
+	// is {128}.
+	ClusterSizes []int
+	// Spec is the workload (sizes, service times, splitting, extension).
+	// Spec.Clusters must equal len(ClusterSizes).
+	Spec workload.Spec
+	// Policy is one of "GS", "LS", "LP", "SC".
+	Policy string
+	// RequestType selects the request structure (default Unordered).
+	// Ordered, Flexible and Total requests are supported by the GS and
+	// SC policies only.
+	RequestType workload.RequestType
+	// Fit is the placement rule (the paper uses Worst Fit, the zero value).
+	Fit cluster.Fit
+	// ArrivalRate is the Poisson arrival rate in jobs per second. Set it
+	// directly or via Spec.ArrivalRateForGrossUtilization.
+	ArrivalRate float64
+	// QueueWeights routes jobs to local queues. Its length must equal
+	// the number of clusters; it is normalized. Nil means balanced.
+	// The paper's unbalanced case is {0.4, 0.2, 0.2, 0.2}.
+	QueueWeights []float64
+	// WarmupJobs is the number of departures discarded before
+	// measurement starts. Default 2000.
+	WarmupJobs int
+	// MeasureJobs is the number of measured departures. Default 20000.
+	MeasureJobs int
+	// Seed selects the random streams.
+	Seed uint64
+}
+
+func (c *Config) applyDefaults() {
+	if c.WarmupJobs == 0 {
+		c.WarmupJobs = 2000
+	}
+	if c.MeasureJobs == 0 {
+		c.MeasureJobs = 20000
+	}
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if len(c.ClusterSizes) == 0 {
+		return fmt.Errorf("core: no clusters configured")
+	}
+	if err := c.Spec.Validate(); err != nil {
+		return err
+	}
+	if c.Spec.Clusters != len(c.ClusterSizes) {
+		return fmt.Errorf("core: spec splits over %d clusters but system has %d",
+			c.Spec.Clusters, len(c.ClusterSizes))
+	}
+	if c.ArrivalRate <= 0 {
+		return fmt.Errorf("core: arrival rate %g must be positive", c.ArrivalRate)
+	}
+	if c.QueueWeights != nil && len(c.QueueWeights) != len(c.ClusterSizes) {
+		return fmt.Errorf("core: %d queue weights for %d clusters",
+			len(c.QueueWeights), len(c.ClusterSizes))
+	}
+	if c.WarmupJobs < 0 || c.MeasureJobs <= 0 {
+		return fmt.Errorf("core: warmup %d / measure %d jobs", c.WarmupJobs, c.MeasureJobs)
+	}
+	if _, err := buildPolicy(c.Policy, len(c.ClusterSizes), c.Fit); err != nil {
+		return err
+	}
+	if c.RequestType != workload.Unordered && c.Policy != "GS" && c.Policy != "SC" {
+		return fmt.Errorf("core: %s requests require the GS or SC policy, not %s",
+			c.RequestType, c.Policy)
+	}
+	return nil
+}
+
+// buildPolicy constructs a policy by its paper abbreviation.
+func buildPolicy(name string, clusters int, fit cluster.Fit) (policies.Policy, error) {
+	switch name {
+	case "GS":
+		return policies.NewGS(fit), nil
+	case "SC":
+		if clusters != 1 {
+			return nil, fmt.Errorf("core: SC needs a single cluster, got %d", clusters)
+		}
+		return policies.NewSC(), nil
+	case "GS-EASY":
+		return policies.NewEASY(fit), nil
+	case "GS-CONS":
+		return policies.NewConservative(fit), nil
+	case "GS-SPF":
+		return policies.NewSPF(fit), nil
+	case "SC-CONS":
+		if clusters != 1 {
+			return nil, fmt.Errorf("core: SC-CONS needs a single cluster, got %d", clusters)
+		}
+		return policies.NewSCConservative(), nil
+	case "SC-EASY":
+		if clusters != 1 {
+			return nil, fmt.Errorf("core: SC-EASY needs a single cluster, got %d", clusters)
+		}
+		return policies.NewSCEASY(), nil
+	case "LS":
+		return policies.NewLS(clusters, fit), nil
+	case "LS-sorted":
+		// Ablation variant: queues re-enabled in fixed index order.
+		return policies.NewLSSortedReenable(clusters, fit), nil
+	case "LP":
+		return policies.NewLP(clusters, fit), nil
+	default:
+		return nil, fmt.Errorf("core: unknown policy %q (want GS, LS, LS-sorted, LP or SC)", name)
+	}
+}
+
+// SizeClassBounds gives the inclusive upper bound of each job-size class
+// used by Result.ResponseBySizeClass: 1-8, 9-16, 17-32, 33-64, 65-128+
+// (the last class absorbs anything larger).
+var SizeClassBounds = []int{8, 16, 32, 64, 128}
+
+// SizeClass returns the class index of a total job size.
+func SizeClass(size int) int {
+	for i, b := range SizeClassBounds {
+		if size <= b {
+			return i
+		}
+	}
+	return len(SizeClassBounds) - 1
+}
+
+// SizeClassLabel renders a class as "lo-hi".
+func SizeClassLabel(i int) string {
+	lo := 1
+	if i > 0 {
+		lo = SizeClassBounds[i-1] + 1
+	}
+	return fmt.Sprintf("%d-%d", lo, SizeClassBounds[i])
+}
+
+// Balanced returns uniform queue weights for n queues.
+func Balanced(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// Unbalanced returns the paper's unbalanced routing for n queues: the
+// first queue receives twice the share of each of the others (40%/20% for
+// four clusters).
+func Unbalanced(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	w[0] = 2
+	return w
+}
+
+// Result summarizes one run (or the merge of several replications).
+type Result struct {
+	Policy string
+	// MeanResponse is the mean response time over measured jobs, in
+	// seconds; the paper's main metric.
+	MeanResponse float64
+	// RespHalfWidth is the 95% confidence half-width of MeanResponse
+	// (batch means within a run; across replications when merged).
+	RespHalfWidth float64
+	// MeanResponseLocal and MeanResponseGlobal break the mean down by
+	// queue type; either may be NaN when the policy lacks that queue
+	// type or no such job was measured.
+	MeanResponseLocal  float64
+	MeanResponseGlobal float64
+	// MedianResponse and P95Response are streaming (P-squared) estimates
+	// of the response-time distribution's 50th and 95th percentiles.
+	MedianResponse float64
+	P95Response    float64
+	// MeanSlowdown is the mean bounded slowdown,
+	// max(1, response / max(service, 10 s)), the standard job-scheduling
+	// metric that caps the influence of very short jobs.
+	MeanSlowdown float64
+	// GrossUtilization is the measured time-average fraction of busy
+	// processors (extended service times — includes wide-area
+	// communication).
+	GrossUtilization float64
+	// NetUtilization counts only computation and fast local
+	// communication (the non-extended service times).
+	NetUtilization float64
+	// OfferedGross is the gross load offered by the arrival process:
+	// lambda * E[gross work] / capacity.
+	OfferedGross float64
+	// Jobs is the number of measured departures.
+	Jobs int
+	// FinalQueue is the number of jobs still queued when the run ended.
+	FinalQueue int
+	// Saturated reports the heuristic that the system could not keep up
+	// with the offered load (the queue kept growing).
+	Saturated bool
+	// SimTime is the virtual length of the measurement window in seconds.
+	SimTime float64
+	// ResponseBySizeClass breaks the mean response time down by total
+	// job size, over the classes of SizeClassBounds — the view behind
+	// the paper's Section 3.2 argument that a few very large jobs
+	// dominate FCFS performance. Entries with no measured jobs are NaN.
+	ResponseBySizeClass []float64
+	// MeanJobsInSystem is the time-average number of jobs present
+	// (queued or running) over the measurement window. By Little's law
+	// it equals throughput times mean response time in steady state —
+	// an end-to-end consistency check the tests enforce.
+	MeanJobsInSystem float64
+	// Throughput is the measured departure rate in jobs per second.
+	Throughput float64
+	// PerClusterUtilization is the measured gross utilization of each
+	// cluster over the window — the imbalance view behind the paper's
+	// balanced/unbalanced comparison.
+	PerClusterUtilization []float64
+	// UtilizationImbalance is the spread max - min of the per-cluster
+	// utilizations.
+	UtilizationImbalance float64
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"coalloc/internal/stats"
+)
+
+// PrecisionConfig wraps a Config with a sequential stopping rule: run
+// independent replications until the 95% confidence half-width of the mean
+// response time drops below the requested relative precision. This is the
+// standard discipline for publication-grade simulation points (the CSIM
+// runs behind the paper's curves would have used the same idea).
+type PrecisionConfig struct {
+	// Run is the base configuration; its Seed starts the replication
+	// sequence.
+	Run Config
+	// RelativePrecision is the target half-width divided by the mean
+	// (e.g. 0.05 for +-5%). Must be positive.
+	RelativePrecision float64
+	// MinReplications and MaxReplications bound the sequential
+	// procedure. Defaults: 3 and 20.
+	MinReplications, MaxReplications int
+}
+
+func (c *PrecisionConfig) applyDefaults() {
+	if c.MinReplications == 0 {
+		c.MinReplications = 3
+	}
+	if c.MaxReplications == 0 {
+		c.MaxReplications = 20
+	}
+}
+
+// PrecisionResult extends the merged Result with the stopping diagnosis.
+type PrecisionResult struct {
+	Result
+	// Replications is the number of replications actually run.
+	Replications int
+	// AchievedRelative is the final relative half-width.
+	AchievedRelative float64
+	// Converged reports whether the target precision was met within
+	// MaxReplications. A saturated configuration typically does not
+	// converge — its "mean response time" is not a steady-state
+	// quantity.
+	Converged bool
+}
+
+// RunUntilPrecision runs replications until the confidence target is met.
+func RunUntilPrecision(cfg PrecisionConfig) (PrecisionResult, error) {
+	cfg.applyDefaults()
+	if cfg.RelativePrecision <= 0 {
+		return PrecisionResult{}, fmt.Errorf("core: relative precision %g must be positive", cfg.RelativePrecision)
+	}
+	if cfg.MinReplications < 2 || cfg.MaxReplications < cfg.MinReplications {
+		return PrecisionResult{}, fmt.Errorf("core: replication bounds %d..%d",
+			cfg.MinReplications, cfg.MaxReplications)
+	}
+
+	var resp, gross, net, slow stats.Welford
+	var merged PrecisionResult
+	saturated := false
+	jobs := 0
+	for n := 1; n <= cfg.MaxReplications; n++ {
+		c := cfg.Run
+		c.Seed = cfg.Run.Seed + uint64(n-1)*1000003
+		res, err := Run(c)
+		if err != nil {
+			return PrecisionResult{}, err
+		}
+		resp.Add(res.MeanResponse)
+		gross.Add(res.GrossUtilization)
+		net.Add(res.NetUtilization)
+		slow.Add(res.MeanSlowdown)
+		jobs += res.Jobs
+		saturated = saturated || res.Saturated
+		merged.Policy = res.Policy
+		merged.OfferedGross = res.OfferedGross
+
+		if n < cfg.MinReplications {
+			continue
+		}
+		hw := stats.TQuantile(resp.N()-1, 0.95) * resp.StdDev() / math.Sqrt(float64(resp.N()))
+		rel := math.Inf(1)
+		if resp.Mean() != 0 {
+			rel = hw / math.Abs(resp.Mean())
+		}
+		if rel <= cfg.RelativePrecision || n == cfg.MaxReplications {
+			merged.MeanResponse = resp.Mean()
+			merged.RespHalfWidth = hw
+			merged.GrossUtilization = gross.Mean()
+			merged.NetUtilization = net.Mean()
+			merged.MeanSlowdown = slow.Mean()
+			merged.Jobs = jobs
+			merged.Saturated = saturated
+			merged.Replications = n
+			merged.AchievedRelative = rel
+			merged.Converged = rel <= cfg.RelativePrecision
+			return merged, nil
+		}
+	}
+	panic("core: unreachable") // the loop always returns at MaxReplications
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRunUntilPrecisionConverges(t *testing.T) {
+	spec := testSpec(t, 16, 4)
+	base := Config{
+		ClusterSizes: []int{32, 32, 32, 32},
+		Spec:         spec,
+		Policy:       "GS",
+		WarmupJobs:   500,
+		MeasureJobs:  6000,
+		Seed:         3,
+		ArrivalRate:  spec.ArrivalRateForGrossUtilization(0.35, 128),
+	}
+	res, err := RunUntilPrecision(PrecisionConfig{
+		Run:               base,
+		RelativePrecision: 0.10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Errorf("did not converge: achieved %.3f in %d replications",
+			res.AchievedRelative, res.Replications)
+	}
+	if res.Replications < 3 || res.Replications > 20 {
+		t.Errorf("replications %d outside bounds", res.Replications)
+	}
+	if res.AchievedRelative > 0.10 {
+		t.Errorf("achieved %.3f, target 0.10", res.AchievedRelative)
+	}
+	if res.MeanResponse <= 0 || math.IsInf(res.RespHalfWidth, 1) {
+		t.Errorf("mean %g half-width %g", res.MeanResponse, res.RespHalfWidth)
+	}
+	if res.Jobs != res.Replications*6000 {
+		t.Errorf("jobs %d for %d replications", res.Jobs, res.Replications)
+	}
+}
+
+func TestRunUntilPrecisionTighterTargetNeedsMoreReplications(t *testing.T) {
+	spec := testSpec(t, 16, 4)
+	base := Config{
+		ClusterSizes: []int{32, 32, 32, 32},
+		Spec:         spec,
+		Policy:       "GS",
+		WarmupJobs:   300,
+		MeasureJobs:  3000,
+		Seed:         5,
+		ArrivalRate:  spec.ArrivalRateForGrossUtilization(0.45, 128),
+	}
+	loose, err := RunUntilPrecision(PrecisionConfig{Run: base, RelativePrecision: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := RunUntilPrecision(PrecisionConfig{Run: base, RelativePrecision: 0.03, MaxReplications: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Replications < loose.Replications {
+		t.Errorf("tight target used %d replications, loose used %d",
+			tight.Replications, loose.Replications)
+	}
+}
+
+func TestRunUntilPrecisionCapsAtMax(t *testing.T) {
+	spec := testSpec(t, 16, 4)
+	base := Config{
+		ClusterSizes: []int{32, 32, 32, 32},
+		Spec:         spec,
+		Policy:       "GS",
+		WarmupJobs:   100,
+		MeasureJobs:  500, // tiny runs: high variance
+		Seed:         7,
+		ArrivalRate:  spec.ArrivalRateForGrossUtilization(0.5, 128),
+	}
+	res, err := RunUntilPrecision(PrecisionConfig{
+		Run:               base,
+		RelativePrecision: 0.0001, // unreachable
+		MaxReplications:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Error("converged at an unreachable precision")
+	}
+	if res.Replications != 4 {
+		t.Errorf("replications %d, want the cap 4", res.Replications)
+	}
+}
+
+func TestRunUntilPrecisionValidation(t *testing.T) {
+	spec := testSpec(t, 16, 4)
+	base := Config{
+		ClusterSizes: []int{32, 32, 32, 32},
+		Spec:         spec,
+		Policy:       "GS",
+		ArrivalRate:  0.01,
+	}
+	if _, err := RunUntilPrecision(PrecisionConfig{Run: base, RelativePrecision: 0}); err == nil {
+		t.Error("zero precision accepted")
+	}
+	if _, err := RunUntilPrecision(PrecisionConfig{
+		Run: base, RelativePrecision: 0.1, MinReplications: 1, MaxReplications: 2,
+	}); err == nil {
+		t.Error("min replications below 2 accepted")
+	}
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"coalloc/internal/cluster"
+	"coalloc/internal/dastrace"
+	"coalloc/internal/policies"
+	"coalloc/internal/rng"
+	"coalloc/internal/sim"
+	"coalloc/internal/stats"
+	"coalloc/internal/workload"
+)
+
+// ReplayConfig describes a trace-replay simulation: instead of sampling a
+// synthetic arrival process, the recorded submit times, sizes and service
+// times of a job log are fed through a policy directly. This is the other
+// sense of "trace-based" simulation, and lets archive traces (read via
+// dastrace.ReadSWF) be replayed against any of the policies.
+type ReplayConfig struct {
+	// ClusterSizes gives the processors per cluster.
+	ClusterSizes []int
+	// Records is the job log, in any order; it is replayed by submit
+	// time. Records with non-positive size or service time, or a size
+	// exceeding the total capacity, are rejected with an error.
+	Records []dastrace.Record
+	// Policy is one of GS, LS, LS-sorted, LP, SC.
+	Policy string
+	// Fit is the placement rule.
+	Fit cluster.Fit
+	// ComponentLimit splits each recorded size into components, exactly
+	// as the synthetic workload does. Use the largest recorded size (or
+	// the single-cluster capacity) to replay total requests.
+	ComponentLimit int
+	// ExtensionFactor multiplies the service time of multi-component
+	// jobs (>= 1).
+	ExtensionFactor float64
+	// LoadFactor compresses (>1) or dilates (<1) the recorded
+	// interarrival gaps: arrival time = submit / LoadFactor. The same
+	// jobs offered faster produce a higher utilization — the standard
+	// way to sweep load in trace-driven studies. 0 means 1.
+	LoadFactor float64
+	// QueueWeights routes jobs to local queues (nil = balanced).
+	QueueWeights []float64
+	// Seed drives queue routing (the only randomness in a replay).
+	Seed uint64
+	// ScheduleWriter, when non-nil, receives one CSV row per completed
+	// job: id,size,components,arrival,start,finish,clusters — the data
+	// for a Gantt-style visualization of the replayed schedule.
+	ScheduleWriter io.Writer
+}
+
+// ReplayResult reports the metrics of a finite replay run.
+type ReplayResult struct {
+	Policy string
+	// Jobs is the number of jobs replayed to completion.
+	Jobs int
+	// MeanResponse, MedianResponse, P95Response summarize response
+	// times over all replayed jobs.
+	MeanResponse   float64
+	MedianResponse float64
+	P95Response    float64
+	// MeanSlowdown is the mean bounded slowdown.
+	MeanSlowdown float64
+	// Makespan is the span from the first arrival to the last departure.
+	Makespan float64
+	// GrossUtilization and NetUtilization are measured over the
+	// makespan.
+	GrossUtilization float64
+	NetUtilization   float64
+	// MaxQueue is the largest number of waiting jobs observed.
+	MaxQueue int
+}
+
+// Replay runs a trace through a policy and returns its metrics.
+func Replay(cfg ReplayConfig) (ReplayResult, error) {
+	if len(cfg.ClusterSizes) == 0 {
+		return ReplayResult{}, fmt.Errorf("core: replay with no clusters")
+	}
+	if len(cfg.Records) == 0 {
+		return ReplayResult{}, fmt.Errorf("core: replay with no records")
+	}
+	if cfg.ComponentLimit <= 0 {
+		return ReplayResult{}, fmt.Errorf("core: replay component limit %d", cfg.ComponentLimit)
+	}
+	if cfg.ExtensionFactor < 1 {
+		return ReplayResult{}, fmt.Errorf("core: replay extension factor %g", cfg.ExtensionFactor)
+	}
+	load := cfg.LoadFactor
+	if load == 0 {
+		load = 1
+	}
+	if load <= 0 {
+		return ReplayResult{}, fmt.Errorf("core: replay load factor %g", cfg.LoadFactor)
+	}
+	pol, err := buildPolicy(cfg.Policy, len(cfg.ClusterSizes), cfg.Fit)
+	if err != nil {
+		return ReplayResult{}, err
+	}
+	m := cluster.New(cfg.ClusterSizes)
+	clusters := len(cfg.ClusterSizes)
+	capacity := m.Capacity()
+
+	recs := make([]dastrace.Record, len(cfg.Records))
+	copy(recs, cfg.Records)
+	sort.SliceStable(recs, func(a, b int) bool { return recs[a].Submit < recs[b].Submit })
+	for _, r := range recs {
+		if r.Size <= 0 || r.Service <= 0 {
+			return ReplayResult{}, fmt.Errorf("core: replay record %d has size %d, service %g", r.ID, r.Size, r.Service)
+		}
+		if r.Size > capacity {
+			return ReplayResult{}, fmt.Errorf("core: replay record %d needs %d of %d processors", r.ID, r.Size, capacity)
+		}
+	}
+
+	weights := cfg.QueueWeights
+	if weights == nil {
+		weights = Balanced(clusters)
+	}
+	var wsum float64
+	for _, w := range weights {
+		wsum += w
+	}
+	cdf := make([]float64, len(weights))
+	var acc float64
+	for i, w := range weights {
+		acc += w / wsum
+		cdf[i] = acc
+	}
+	routeStream := rng.NewSource(cfg.Seed).Stream("replay/routing")
+	route := func() int {
+		if len(cdf) == 1 {
+			return 0
+		}
+		u := routeStream.Float64()
+		for i, c := range cdf {
+			if u < c {
+				return i
+			}
+		}
+		return len(cdf) - 1
+	}
+
+	eng := sim.New()
+	var busy stats.TimeWeighted
+	busy.StartAt(0, 0)
+	var resp, slow stats.Welford
+	quantiles := stats.NewQuantileSet()
+	var grossWork, netWork float64
+	var firstArrival, lastFinish float64
+	firstArrival = math.Inf(1)
+	maxQueue := 0
+
+	var sched *bufio.Writer
+	if cfg.ScheduleWriter != nil {
+		sched = bufio.NewWriter(cfg.ScheduleWriter)
+		fmt.Fprintln(sched, "id,size,components,arrival,start,finish,clusters")
+	}
+	rs := &replaySim{
+		eng: eng,
+		m:   m,
+		onDispatch: func(j *workload.Job) {
+			grossWork += float64(j.TotalSize) * j.ExtendedServiceTime
+			netWork += float64(j.TotalSize) * j.ServiceTime
+		},
+		onDepart: func(j *workload.Job) {
+			r := j.ResponseTime()
+			resp.Add(r)
+			quantiles.Add(r)
+			slow.Add(boundedSlowdown(r, j.ServiceTime))
+			if j.FinishTime > lastFinish {
+				lastFinish = j.FinishTime
+			}
+			if sched != nil {
+				fmt.Fprintf(sched, "%d,%d,%s,%.2f,%.2f,%.2f,%s\n",
+					j.ID, j.TotalSize, intsDash(j.Components),
+					j.ArrivalTime, j.StartTime, j.FinishTime, intsDash(j.Placement))
+			}
+		},
+		busy: &busy,
+		pol:  pol,
+	}
+
+	for i := range recs {
+		r := recs[i]
+		at := r.Submit / load
+		if at < firstArrival {
+			firstArrival = at
+		}
+		eng.At(at, func() {
+			j := &workload.Job{
+				ID:          int64(r.ID),
+				TotalSize:   r.Size,
+				Components:  workload.Split(r.Size, cfg.ComponentLimit, clusters),
+				ServiceTime: r.Service,
+				ArrivalTime: eng.Now(),
+				Queue:       route(),
+			}
+			j.ExtendedServiceTime = j.ServiceTime
+			if j.Multi() {
+				j.ExtendedServiceTime *= cfg.ExtensionFactor
+			}
+			pol.Submit(rs, j)
+			if q := pol.Queued(); q > maxQueue {
+				maxQueue = q
+			}
+		})
+	}
+	eng.Run()
+
+	if q := pol.Queued(); q > 0 {
+		return ReplayResult{}, fmt.Errorf("core: replay ended with %d jobs stuck in queue", q)
+	}
+	if sched != nil {
+		if err := sched.Flush(); err != nil {
+			return ReplayResult{}, fmt.Errorf("core: writing schedule: %w", err)
+		}
+	}
+	res := ReplayResult{
+		Policy:         cfg.Policy,
+		Jobs:           int(resp.N()),
+		MeanResponse:   resp.Mean(),
+		MedianResponse: quantiles.Q50.Value(),
+		P95Response:    quantiles.Q95.Value(),
+		MeanSlowdown:   slow.Mean(),
+		Makespan:       lastFinish - firstArrival,
+		MaxQueue:       maxQueue,
+	}
+	if res.Makespan > 0 {
+		res.GrossUtilization = grossWork / (float64(capacity) * res.Makespan)
+		res.NetUtilization = netWork / (float64(capacity) * res.Makespan)
+	}
+	return res, nil
+}
+
+// intsDash renders an int slice as dash-separated values (CSV-safe).
+func intsDash(vs []int) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = fmt.Sprint(v)
+	}
+	return strings.Join(parts, "-")
+}
+
+// replaySim is the policies.Ctx for replay runs.
+type replaySim struct {
+	eng        *sim.Engine
+	m          *cluster.Multicluster
+	pol        policies.Policy
+	busy       *stats.TimeWeighted
+	onDispatch func(*workload.Job)
+	onDepart   func(*workload.Job)
+}
+
+var _ policies.Ctx = (*replaySim)(nil)
+
+func (s *replaySim) Cluster() *cluster.Multicluster { return s.m }
+
+func (s *replaySim) Now() float64 { return s.eng.Now() }
+
+func (s *replaySim) Dispatch(j *workload.Job, placement []int) {
+	now := s.eng.Now()
+	j.StartTime = now
+	j.Placement = placement
+	s.m.Alloc(j.Components, placement)
+	s.busy.Set(now, float64(s.m.Busy()))
+	s.onDispatch(j)
+	s.eng.After(j.ExtendedServiceTime, func() {
+		t := s.eng.Now()
+		j.FinishTime = t
+		s.m.Release(j.Components, j.Placement)
+		s.busy.Set(t, float64(s.m.Busy()))
+		s.onDepart(j)
+		s.pol.JobDeparted(s, j)
+	})
+}

@@ -1,0 +1,424 @@
+package core
+
+import (
+	"math"
+
+	"coalloc/internal/cluster"
+	"coalloc/internal/dist"
+	"coalloc/internal/policies"
+	"coalloc/internal/rng"
+	"coalloc/internal/sim"
+	"coalloc/internal/stats"
+	"coalloc/internal/workload"
+)
+
+// simulation implements policies.Ctx and carries one run's state.
+type simulation struct {
+	eng  *sim.Engine
+	m    *cluster.Multicluster
+	pol  policies.Policy
+	spec workload.Spec
+
+	arrivalRate float64
+	reqType     workload.RequestType
+	arrivals    *rng.Stream
+	sizeStream  *rng.Stream
+	svcStream   *rng.Stream
+	routeStream *rng.Stream
+	placeStream *rng.Stream
+	routeCDF    []float64
+
+	nextID int64
+
+	warmupJobs  int
+	measureJobs int
+	finished    int
+	measuring   bool
+
+	busy        stats.TimeWeighted
+	busyPer     []stats.TimeWeighted
+	inSystem    stats.TimeWeighted
+	respAll     stats.Welford
+	respLocal   stats.Welford
+	respGlobal  stats.Welford
+	respByClass []stats.Welford
+	slowdown    stats.Welford
+	quantiles   *stats.QuantileSet
+	batch       *stats.BatchMeans
+	grossWork   float64
+	netWork     float64
+	measureFrom float64
+	queueAtWarm int
+}
+
+var _ policies.Ctx = (*simulation)(nil)
+
+// Cluster returns the multicluster state (policies.Ctx).
+func (s *simulation) Cluster() *cluster.Multicluster { return s.m }
+
+// Now returns the current virtual time (policies.Ctx).
+func (s *simulation) Now() float64 { return s.eng.Now() }
+
+// Dispatch allocates the placement and schedules the departure
+// (policies.Ctx).
+func (s *simulation) Dispatch(j *workload.Job, placement []int) {
+	now := s.eng.Now()
+	j.StartTime = now
+	j.Placement = placement
+	if j.Type == workload.Flexible {
+		// The scheduler chose the split; the extension factor applies
+		// only if it actually spans clusters.
+		j.FinalizeFlexible(j.Components, s.spec.ExtensionFactor)
+	}
+	s.m.Alloc(j.Components, placement)
+	s.busy.Set(now, float64(s.m.Busy()))
+	for i, c := range placement {
+		s.busyPer[c].Add(now, float64(j.Components[i]))
+	}
+	if s.measuring {
+		s.grossWork += float64(j.TotalSize) * j.ExtendedServiceTime
+		s.netWork += float64(j.TotalSize) * j.ServiceTime
+	}
+	s.eng.After(j.ExtendedServiceTime, func() { s.depart(j) })
+}
+
+// depart releases the job's processors, records metrics, and gives the
+// policy a scheduling opportunity.
+func (s *simulation) depart(j *workload.Job) {
+	now := s.eng.Now()
+	j.FinishTime = now
+	s.m.Release(j.Components, j.Placement)
+	s.busy.Set(now, float64(s.m.Busy()))
+	for i, c := range j.Placement {
+		s.busyPer[c].Add(now, -float64(j.Components[i]))
+	}
+	s.inSystem.Add(now, -1)
+	s.finished++
+	if s.measuring {
+		r := j.ResponseTime()
+		s.respAll.Add(r)
+		s.batch.Add(r)
+		s.quantiles.Add(r)
+		s.respByClass[SizeClass(j.TotalSize)].Add(r)
+		s.slowdown.Add(boundedSlowdown(r, j.ServiceTime))
+		if j.Queue == workload.GlobalQueue {
+			s.respGlobal.Add(r)
+		} else {
+			s.respLocal.Add(r)
+		}
+	}
+	if !s.measuring && s.finished >= s.warmupJobs {
+		s.startMeasuring(now)
+	} else if s.measuring && s.respAll.N() >= int64(s.measureJobs) {
+		s.eng.Stop()
+		return
+	}
+	s.pol.JobDeparted(s, j)
+}
+
+// startMeasuring resets all accumulators at the end of the warmup period.
+func (s *simulation) startMeasuring(now float64) {
+	s.measuring = true
+	s.measureFrom = now
+	s.busy.StartAt(now, float64(s.m.Busy()))
+	for c := range s.busyPer {
+		s.busyPer[c].StartAt(now, s.busyPer[c].Level())
+	}
+	s.inSystem.StartAt(now, s.inSystem.Level())
+	s.respAll.Reset()
+	s.respLocal.Reset()
+	s.respGlobal.Reset()
+	for i := range s.respByClass {
+		s.respByClass[i].Reset()
+	}
+	s.slowdown.Reset()
+	s.quantiles.Reset()
+	s.grossWork, s.netWork = 0, 0
+	s.queueAtWarm = s.pol.Queued()
+}
+
+// routeQueue samples a local queue index from the routing distribution.
+func (s *simulation) routeQueue() int {
+	if len(s.routeCDF) == 1 {
+		return 0
+	}
+	u := s.routeStream.Float64()
+	for i, c := range s.routeCDF {
+		if u < c {
+			return i
+		}
+	}
+	return len(s.routeCDF) - 1
+}
+
+// arrive creates the next job, submits it, and schedules the following
+// arrival.
+func (s *simulation) arrive() {
+	now := s.eng.Now()
+	j := s.spec.SampleTyped(s.reqType, s.sizeStream, s.svcStream, s.placeStream)
+	s.nextID++
+	j.ID = s.nextID
+	j.ArrivalTime = now
+	j.Queue = s.routeQueue()
+	s.inSystem.Add(now, 1)
+	s.pol.Submit(s, j)
+	s.eng.After(s.arrivals.Exp(s.arrivalRate), s.arrive)
+}
+
+// newSimulation wires up a run from its configuration.
+func newSimulation(cfg Config) (*simulation, error) {
+	cfg.applyDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pol, err := buildPolicy(cfg.Policy, len(cfg.ClusterSizes), cfg.Fit)
+	if err != nil {
+		return nil, err
+	}
+	src := rng.NewSource(cfg.Seed)
+	weights := cfg.QueueWeights
+	if weights == nil {
+		weights = Balanced(len(cfg.ClusterSizes))
+	}
+	var wsum float64
+	for _, w := range weights {
+		wsum += w
+	}
+	cdf := make([]float64, len(weights))
+	var acc float64
+	for i, w := range weights {
+		acc += w / wsum
+		cdf[i] = acc
+	}
+	batchSize := int64(cfg.MeasureJobs / 30)
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	return &simulation{
+		eng:         sim.New(),
+		m:           cluster.New(cfg.ClusterSizes),
+		busyPer:     make([]stats.TimeWeighted, len(cfg.ClusterSizes)),
+		respByClass: make([]stats.Welford, len(SizeClassBounds)),
+		pol:         pol,
+		spec:        cfg.Spec,
+		arrivalRate: cfg.ArrivalRate,
+		reqType:     cfg.RequestType,
+		arrivals:    src.Stream("core/arrivals"),
+		sizeStream:  src.Stream("core/sizes"),
+		svcStream:   src.Stream("core/services"),
+		routeStream: src.Stream("core/routing"),
+		placeStream: src.Stream("core/placement"),
+		routeCDF:    cdf,
+		warmupJobs:  cfg.WarmupJobs,
+		measureJobs: cfg.MeasureJobs,
+		batch:       stats.NewBatchMeans(batchSize),
+		quantiles:   stats.NewQuantileSet(),
+	}, nil
+}
+
+// Run executes one open-system simulation and returns its metrics.
+func Run(cfg Config) (Result, error) {
+	s, err := newSimulation(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg.applyDefaults()
+	s.busy.StartAt(0, 0)
+	s.eng.After(s.arrivals.Exp(s.arrivalRate), s.arrive)
+	s.eng.Run()
+
+	now := s.eng.Now()
+	window := now - s.measureFrom
+	capacity := float64(s.m.Capacity())
+	res := Result{
+		Policy:             cfg.Policy,
+		MeanResponse:       s.respAll.Mean(),
+		RespHalfWidth:      s.batch.HalfWidth(0.95),
+		MeanResponseLocal:  meanOrNaN(&s.respLocal),
+		MeanResponseGlobal: meanOrNaN(&s.respGlobal),
+		MedianResponse:     s.quantiles.Q50.Value(),
+		P95Response:        s.quantiles.Q95.Value(),
+		MeanSlowdown:       s.slowdown.Mean(),
+		ResponseBySizeClass: func() []float64 {
+			out := make([]float64, len(s.respByClass))
+			for i := range s.respByClass {
+				out[i] = meanOrNaN(&s.respByClass[i])
+			}
+			return out
+		}(),
+		OfferedGross: cfg.ArrivalRate * cfg.Spec.MeanGrossWork() / capacity,
+		Jobs:         int(s.respAll.N()),
+		FinalQueue:   s.pol.Queued(),
+		SimTime:      window,
+	}
+	if window > 0 {
+		res.GrossUtilization = s.busy.Average(now) / capacity
+		res.NetUtilization = s.netWork / (capacity * window)
+		res.MeanJobsInSystem = s.inSystem.Average(now)
+		res.Throughput = float64(res.Jobs) / window
+		res.PerClusterUtilization = make([]float64, len(s.busyPer))
+		min, max := math.Inf(1), math.Inf(-1)
+		for c := range s.busyPer {
+			u := s.busyPer[c].Average(now) / float64(s.m.Size(c))
+			res.PerClusterUtilization[c] = u
+			min = math.Min(min, u)
+			max = math.Max(max, u)
+		}
+		res.UtilizationImbalance = max - min
+	}
+	// Saturation heuristic: the backlog grew substantially over the
+	// measurement window relative to the number of jobs served.
+	growth := res.FinalQueue - s.queueAtWarm
+	res.Saturated = growth > res.Jobs/20 && growth > 50
+	return res, nil
+}
+
+func meanOrNaN(w *stats.Welford) float64 {
+	if w.N() == 0 {
+		return math.NaN()
+	}
+	return w.Mean()
+}
+
+// slowdownBound is the short-job service-time floor of the bounded
+// slowdown metric (Feitelson et al.): 10 seconds.
+const slowdownBound = 10.0
+
+// boundedSlowdown returns max(1, response / max(service, 10 s)).
+func boundedSlowdown(response, service float64) float64 {
+	d := service
+	if d < slowdownBound {
+		d = slowdownBound
+	}
+	s := response / d
+	if s < 1 {
+		return 1
+	}
+	return s
+}
+
+// RunAtUtilization is a convenience wrapper that sets the arrival rate to
+// offer the given gross utilization before running.
+func RunAtUtilization(cfg Config, grossUtil float64) (Result, error) {
+	var capacity int
+	for _, s := range cfg.ClusterSizes {
+		capacity += s
+	}
+	cfg.ArrivalRate = cfg.Spec.ArrivalRateForGrossUtilization(grossUtil, capacity)
+	return Run(cfg)
+}
+
+// RunReplications runs n independent replications (seeds Seed, Seed+1, ...)
+// and merges the results. The response-time half-width is the 95% Student-t
+// interval across replication means.
+func RunReplications(cfg Config, n int) (Result, error) {
+	if n <= 0 {
+		n = 1
+	}
+	var merged Result
+	var resp, respLocal, respGlobal, gross, net stats.Welford
+	var median, p95, slow, inSystem, throughput, imbalance stats.Welford
+	byClass := make([]stats.Welford, len(SizeClassBounds))
+	var perCluster []stats.Welford
+	var offered, simTime float64
+	var jobs, finalQueue int
+	saturated := false
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(i)*1000003
+		r, err := Run(c)
+		if err != nil {
+			return Result{}, err
+		}
+		resp.Add(r.MeanResponse)
+		if !math.IsNaN(r.MeanResponseLocal) {
+			respLocal.Add(r.MeanResponseLocal)
+		}
+		if !math.IsNaN(r.MeanResponseGlobal) {
+			respGlobal.Add(r.MeanResponseGlobal)
+		}
+		gross.Add(r.GrossUtilization)
+		net.Add(r.NetUtilization)
+		if !math.IsNaN(r.MedianResponse) {
+			median.Add(r.MedianResponse)
+		}
+		if !math.IsNaN(r.P95Response) {
+			p95.Add(r.P95Response)
+		}
+		slow.Add(r.MeanSlowdown)
+		for ci, v := range r.ResponseBySizeClass {
+			if !math.IsNaN(v) {
+				byClass[ci].Add(v)
+			}
+		}
+		inSystem.Add(r.MeanJobsInSystem)
+		throughput.Add(r.Throughput)
+		imbalance.Add(r.UtilizationImbalance)
+		if perCluster == nil {
+			perCluster = make([]stats.Welford, len(r.PerClusterUtilization))
+		}
+		for ci, u := range r.PerClusterUtilization {
+			perCluster[ci].Add(u)
+		}
+		offered = r.OfferedGross
+		jobs += r.Jobs
+		finalQueue += r.FinalQueue
+		simTime += r.SimTime
+		saturated = saturated || r.Saturated
+		merged.Policy = r.Policy
+	}
+	merged.MeanResponse = resp.Mean()
+	if n >= 2 {
+		merged.RespHalfWidth = stats.TQuantile(int64(n-1), 0.95) * resp.StdDev() / math.Sqrt(float64(n))
+	} else {
+		merged.RespHalfWidth = math.Inf(1)
+	}
+	merged.MeanResponseLocal = meanOrNaN(&respLocal)
+	merged.MeanResponseGlobal = meanOrNaN(&respGlobal)
+	merged.MedianResponse = meanOrNaN(&median)
+	merged.P95Response = meanOrNaN(&p95)
+	merged.MeanSlowdown = slow.Mean()
+	merged.ResponseBySizeClass = make([]float64, len(byClass))
+	for ci := range byClass {
+		merged.ResponseBySizeClass[ci] = meanOrNaN(&byClass[ci])
+	}
+	merged.MeanJobsInSystem = inSystem.Mean()
+	merged.Throughput = throughput.Mean()
+	merged.UtilizationImbalance = imbalance.Mean()
+	merged.PerClusterUtilization = make([]float64, len(perCluster))
+	for ci := range perCluster {
+		merged.PerClusterUtilization[ci] = perCluster[ci].Mean()
+	}
+	merged.GrossUtilization = gross.Mean()
+	merged.NetUtilization = net.Mean()
+	merged.OfferedGross = offered
+	merged.Jobs = jobs
+	merged.FinalQueue = finalQueue
+	merged.Saturated = saturated
+	merged.SimTime = simTime
+	return merged, nil
+}
+
+// Sanity helpers -------------------------------------------------------------
+
+// MM1Response returns the analytic M/M/1 mean response time for arrival
+// rate lambda and service rate mu — used by the integration tests to
+// validate the whole pipeline on a degenerate configuration (one cluster,
+// one processor, unit-size jobs, exponential service).
+func MM1Response(lambda, mu float64) float64 {
+	if lambda >= mu {
+		return math.Inf(1)
+	}
+	return 1 / (mu - lambda)
+}
+
+// ExpService returns a workload spec for such a degenerate M/M/1 system.
+func ExpService(mu float64) workload.Spec {
+	return workload.Spec{
+		Sizes:           dist.NewEmpiricalInt([]int{1}, []float64{1}),
+		Service:         dist.NewExponential(mu),
+		ComponentLimit:  1,
+		Clusters:        1,
+		ExtensionFactor: 1,
+	}
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"coalloc/internal/workload"
+)
+
+// These tests pin the paper's qualitative results — the whole point of the
+// reproduction — at moderate fidelity. They are regression tests: a change
+// to the policies or the workload that silently flips one of the paper's
+// findings fails here. Skipped under -short.
+
+func paperRun(t *testing.T, policy string, clusters []int, spec workload.Spec,
+	weights []float64, util float64) Result {
+	t.Helper()
+	cfg := Config{
+		ClusterSizes: clusters,
+		Spec:         spec,
+		Policy:       policy,
+		QueueWeights: weights,
+		WarmupJobs:   1000,
+		MeasureJobs:  12000,
+		Seed:         1,
+		ArrivalRate:  spec.ArrivalRateForGrossUtilization(util, capacityOf(clusters)),
+	}
+	res, err := RunReplications(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func capacityOf(clusters []int) int {
+	n := 0
+	for _, c := range clusters {
+		n += c
+	}
+	return n
+}
+
+var multi = []int{32, 32, 32, 32}
+
+// TestLittlesLaw validates L = lambda * W on a stable run — an end-to-end
+// consistency check across the arrival process, the queueing, and the
+// metric plumbing.
+func TestLittlesLaw(t *testing.T) {
+	spec := testSpec(t, 16, 4)
+	cfg := Config{
+		ClusterSizes: multi,
+		Spec:         spec,
+		Policy:       "LS",
+		WarmupJobs:   2000,
+		MeasureJobs:  30000,
+		Seed:         8,
+	}
+	res, err := RunAtUtilization(cfg, 0.45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := res.Throughput * res.MeanResponse
+	if res.MeanJobsInSystem <= 0 || want <= 0 {
+		t.Fatalf("L = %g, lambda*W = %g", res.MeanJobsInSystem, want)
+	}
+	if math.Abs(res.MeanJobsInSystem-want)/want > 0.06 {
+		t.Errorf("Little's law: L = %.2f but lambda*W = %.2f", res.MeanJobsInSystem, want)
+	}
+}
+
+// TestPaperShapeLSBestMulticlusterAtLimit16 (Fig. 3, left panel): at
+// component-size limit 16, LS beats GS and LP near saturation.
+func TestPaperShapeLSBestMulticlusterAtLimit16(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-shape regression")
+	}
+	spec := testSpec(t, 16, 4)
+	const util = 0.58
+	ls := paperRun(t, "LS", multi, spec, nil, util)
+	gs := paperRun(t, "GS", multi, spec, nil, util)
+	lp := paperRun(t, "LP", multi, spec, nil, util)
+	if !(ls.MeanResponse < gs.MeanResponse && ls.MeanResponse < lp.MeanResponse) {
+		t.Errorf("LS %.0f should beat GS %.0f and LP %.0f at %.2f",
+			ls.MeanResponse, gs.MeanResponse, lp.MeanResponse, util)
+	}
+}
+
+// TestPaperShapeLimit24Worst (Fig. 6 / Sect. 3.3): the component-size
+// limit 24 is the worst choice for every policy — size-64 jobs split
+// (22, 21, 21) and pack terribly.
+func TestPaperShapeLimit24Worst(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-shape regression")
+	}
+	const util = 0.48
+	for _, policy := range []string{"GS", "LS"} {
+		resp := map[int]float64{}
+		for _, limit := range []int{16, 24, 32} {
+			spec := testSpec(t, limit, 4)
+			resp[limit] = paperRun(t, policy, multi, spec, nil, util).MeanResponse
+		}
+		if !(resp[24] > resp[16] && resp[24] > resp[32]) {
+			t.Errorf("%s: limit 24 (%.0f) should be worst (16: %.0f, 32: %.0f)",
+				policy, resp[24], resp[16], resp[32])
+		}
+	}
+}
+
+// TestPaperShapeSizeCapHelps (Fig. 5): cutting the total job size at 64
+// improves SC dramatically and LS clearly.
+func TestPaperShapeSizeCapHelps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-shape regression")
+	}
+	der := workload.DeriveDefault()
+	mk := func(sizes string) (workload.Spec, workload.Spec) {
+		sd := der.Sizes128
+		if sizes == "64" {
+			sd = der.Sizes64
+		}
+		multiSpec := workload.Spec{
+			Sizes: sd, Service: der.Service,
+			ComponentLimit: 16, Clusters: 4,
+			ExtensionFactor: workload.DefaultExtensionFactor,
+		}
+		scSpec := workload.Spec{
+			Sizes: sd, Service: der.Service,
+			ComponentLimit: sd.Max(), Clusters: 1,
+			ExtensionFactor: workload.DefaultExtensionFactor,
+		}
+		return multiSpec, scSpec
+	}
+	m128, s128 := mk("128")
+	m64, s64 := mk("64")
+	const util = 0.6
+	sc128 := paperRun(t, "SC", []int{128}, s128, nil, util)
+	sc64 := paperRun(t, "SC", []int{128}, s64, nil, util)
+	if sc64.MeanResponse >= sc128.MeanResponse {
+		t.Errorf("SC: cap at 64 did not help (%.0f vs %.0f)", sc64.MeanResponse, sc128.MeanResponse)
+	}
+	ls128 := paperRun(t, "LS", multi, m128, nil, util)
+	ls64 := paperRun(t, "LS", multi, m64, nil, util)
+	if ls64.MeanResponse >= ls128.MeanResponse {
+		t.Errorf("LS: cap at 64 did not help (%.0f vs %.0f)", ls64.MeanResponse, ls128.MeanResponse)
+	}
+}
+
+// TestPaperShapeUnbalanceHurtsLSMost (Sect. 3.1.2): unbalanced local
+// queues worsen LS more at larger component-size limits (more local jobs).
+func TestPaperShapeUnbalanceHurtsLS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-shape regression")
+	}
+	const util = 0.5
+	spec := testSpec(t, 32, 4)
+	bal := paperRun(t, "LS", multi, spec, nil, util)
+	unb := paperRun(t, "LS", multi, spec, Unbalanced(4), util)
+	if unb.MeanResponse <= bal.MeanResponse {
+		t.Errorf("unbalanced LS (%.0f) should be worse than balanced (%.0f) at limit 32",
+			unb.MeanResponse, bal.MeanResponse)
+	}
+}
+
+// TestPaperShapeGrossNetGapGrowsAsLimitShrinks (Fig. 7 / Sect. 4).
+func TestPaperShapeGrossNetGapGrowsAsLimitShrinks(t *testing.T) {
+	gaps := map[int]float64{}
+	for _, limit := range []int{16, 24, 32} {
+		spec := testSpec(t, limit, 4)
+		gaps[limit] = spec.GrossNetRatio()
+	}
+	if !(gaps[16] > gaps[24] && gaps[24] > gaps[32]) {
+		t.Errorf("gross/net ratios %v should decrease with the limit", gaps)
+	}
+}
+
+// TestPaperShapeLPGlobalQueueIsBottleneck (Fig. 4): near saturation, LP's
+// global-queue mean response dwarfs its local queues'.
+func TestPaperShapeLPGlobalQueueIsBottleneck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-shape regression")
+	}
+	spec := testSpec(t, 16, 4)
+	res := paperRun(t, "LP", multi, spec, nil, 0.58)
+	if !(res.MeanResponseGlobal > 3*res.MeanResponseLocal) {
+		t.Errorf("LP global mean %.0f should dwarf local mean %.0f near saturation",
+			res.MeanResponseGlobal, res.MeanResponseLocal)
+	}
+}

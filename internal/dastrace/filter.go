@@ -1,0 +1,53 @@
+package dastrace
+
+// Filtering helpers for job logs, mirroring the selections the paper makes
+// on its trace (cutting at a maximum size, restricting to a time window)
+// so the same operations are available for real archive traces.
+
+// FilterMaxSize returns the records whose size does not exceed max — the
+// trace-level analogue of the DAS-s-64 cut.
+func FilterMaxSize(recs []Record, max int) []Record {
+	var out []Record
+	for _, r := range recs {
+		if r.Size <= max {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// FilterMaxService returns the records whose service time does not exceed
+// max seconds — the trace-level analogue of the DAS-t-900 cut.
+func FilterMaxService(recs []Record, max float64) []Record {
+	var out []Record
+	for _, r := range recs {
+		if r.Service <= max {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// FilterWindow returns the records submitted in [from, to), with submit
+// times rebased so the window starts at zero.
+func FilterWindow(recs []Record, from, to float64) []Record {
+	var out []Record
+	for _, r := range recs {
+		if r.Submit >= from && r.Submit < to {
+			r.Submit -= from
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Renumber assigns consecutive 1-based IDs, preserving order — useful
+// after filtering so downstream tools see a dense log.
+func Renumber(recs []Record) []Record {
+	out := make([]Record, len(recs))
+	copy(out, recs)
+	for i := range out {
+		out[i].ID = i + 1
+	}
+	return out
+}

@@ -1,0 +1,211 @@
+// Package dastrace synthesizes and analyzes a DAS1-like job log.
+//
+// The paper derives its workload from the log of the largest (128-processor)
+// DAS1 cluster: 3 months, tens of thousands of jobs, 58 distinct request
+// sizes in [1, 128], a strong preference for small sizes and powers of two
+// (Table 1 of the paper), and service times shaped by the DAS's 15-minute
+// working-hours kill limit (Fig. 2). That log is not publicly available, so
+// this package reconstructs a statistically equivalent synthetic log:
+//
+//   - the power-of-two size fractions are exactly the paper's Table 1;
+//   - the remaining probability mass (0.295) is spread over 50 further
+//     "human" sizes, giving 58 distinct sizes in [1, 128]. The mass per
+//     size band is reverse-engineered from the paper's Table 2: the
+//     component-count fractions for limits 16, 24 and 32 pin down how much
+//     non-power-of-two probability lies in (0,16], (16,24], (24,32],
+//     (32,48], (48,64], (64,72] and (96,128). (The published limit-16 row
+//     sums to 1.081 as OCR'd; with its third entry read as 0.009 instead
+//     of 0.090 it sums to 1.000 and becomes consistent with the other two
+//     rows, so that reading is used.) Within a band, weights are inversely
+//     proportional to size (small-size preference);
+//   - service times follow a right-skewed lognormal body; jobs submitted
+//     during working hours (a configurable fraction) are killed at exactly
+//     900 s, producing the characteristic mass at the kill limit, and the
+//     published DAS-t-900 distribution is the log cut off at 900 s.
+//
+// Everything the simulations consume is an empirical distribution sampled
+// from this log, mirroring the paper's own procedure ("by sampling the
+// job-size distribution as measured on the DAS1 we derive two
+// distributions which we use in our simulations").
+package dastrace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"coalloc/internal/rng"
+)
+
+// Record is one job in the log.
+type Record struct {
+	ID      int     // 1-based job number
+	Submit  float64 // submission time, seconds from the start of the log
+	Size    int     // number of processors requested
+	Service float64 // service (run) time in seconds
+	Killed  bool    // true if the job hit the 15-minute working-hours limit
+}
+
+// Table1 holds the paper's measured fractions of jobs whose total size is a
+// power of two (Table 1 of the paper). The remaining mass, 0.295, is spread
+// over non-power-of-two sizes.
+var Table1 = map[int]float64{
+	1:   0.091,
+	2:   0.130,
+	4:   0.087,
+	8:   0.066,
+	16:  0.090,
+	32:  0.039,
+	64:  0.190,
+	128: 0.012,
+}
+
+// nonPowerBands places the non-power-of-two probability mass. The per-band
+// masses are the unique values consistent with the paper's Tables 1 and 2
+// (see the package comment); the 50 support values inside the bands are
+// chosen to follow the usual cluster-log pattern of small counts and
+// multiples of 2, 4 and 10, and together with the 8 powers of two give the
+// 58 distinct sizes the paper reports.
+var nonPowerBands = []struct {
+	sizes []int
+	mass  float64
+}{
+	{[]int{3, 5, 6, 7, 9, 10, 11, 12, 13, 14, 15}, 0.049},
+	{[]int{17, 18, 19, 20, 21, 22, 23, 24}, 0.225},
+	{[]int{25, 26, 27, 28, 30, 31}, 0.003},
+	{[]int{33, 34, 36, 40, 42, 44, 45, 48}, 0.009},
+	{[]int{49, 50, 52, 56, 60, 63}, 0.001},
+	{[]int{65, 66, 68, 70, 72}, 0.003},
+	{[]int{97, 100, 104, 110, 112, 120}, 0.005},
+}
+
+// SizeSpec returns the full synthetic size distribution as parallel
+// value/probability slices: Table 1 for powers of two, and the
+// Table-2-derived band masses over the non-power sizes with within-band
+// weights proportional to 1/size.
+func SizeSpec() (values []int, probs []float64) {
+	powers := make([]int, 0, len(Table1))
+	for v := range Table1 {
+		powers = append(powers, v)
+	}
+	sort.Ints(powers)
+	for _, v := range powers {
+		values = append(values, v)
+		probs = append(probs, Table1[v])
+	}
+	for _, band := range nonPowerBands {
+		var invSum float64
+		for _, v := range band.sizes {
+			invSum += 1 / float64(v)
+		}
+		for _, v := range band.sizes {
+			values = append(values, v)
+			probs = append(probs, band.mass/float64(v)/invSum)
+		}
+	}
+	return values, probs
+}
+
+// GenConfig parameterizes the synthetic log.
+type GenConfig struct {
+	// NumJobs is the number of records to generate. The OCR of the paper
+	// lost the exact count ("over a period of three months ... ran NN NNN
+	// jobs"); the default 39356 is of the right magnitude.
+	NumJobs int
+	// Span is the length of the log in seconds. Default: 90 days.
+	Span float64
+	// Seed selects the random streams. The same seed always yields the
+	// same log.
+	Seed uint64
+	// KillLimit is the working-hours service cap in seconds. Default 900
+	// (the DAS's 15 minutes).
+	KillLimit float64
+	// WorkingHoursFrac is the fraction of jobs subject to the kill limit.
+	// Default 0.7.
+	WorkingHoursFrac float64
+	// ServiceMu and ServiceSigma are the lognormal parameters of the raw
+	// service-time body. Defaults ln(40) and 1.75 give a cut-log mean of
+	// roughly 150 s with a strongly right-skewed density like Fig. 2.
+	ServiceMu, ServiceSigma float64
+}
+
+func (c *GenConfig) applyDefaults() {
+	if c.NumJobs == 0 {
+		c.NumJobs = 39356
+	}
+	if c.Span == 0 {
+		c.Span = 90 * 24 * 3600
+	}
+	if c.KillLimit == 0 {
+		c.KillLimit = 900
+	}
+	if c.WorkingHoursFrac == 0 {
+		c.WorkingHoursFrac = 0.7
+	}
+	if c.ServiceMu == 0 {
+		c.ServiceMu = math.Log(40)
+	}
+	if c.ServiceSigma == 0 {
+		c.ServiceSigma = 1.75
+	}
+}
+
+// DefaultConfig returns the configuration used throughout the reproduction.
+func DefaultConfig() GenConfig {
+	c := GenConfig{Seed: 20030622} // HPDC'03 opened June 22, 2003
+	c.applyDefaults()
+	return c
+}
+
+// Generate synthesizes a log according to cfg.
+func Generate(cfg GenConfig) []Record {
+	cfg.applyDefaults()
+	if cfg.NumJobs <= 0 {
+		panic(fmt.Sprintf("dastrace: NumJobs %d must be positive", cfg.NumJobs))
+	}
+	src := rng.NewSource(cfg.Seed)
+	arrivals := src.Stream("dastrace/arrivals")
+	sizes := src.Stream("dastrace/sizes")
+	services := src.Stream("dastrace/services")
+	hours := src.Stream("dastrace/hours")
+
+	values, probs := SizeSpec()
+	cdf := make([]float64, len(probs))
+	var acc float64
+	for i, p := range probs {
+		acc += p
+		cdf[i] = acc
+	}
+	sampleSize := func() int {
+		u := sizes.Float64()
+		i := sort.SearchFloat64s(cdf, u)
+		if i >= len(values) {
+			i = len(values) - 1
+		}
+		return values[i]
+	}
+
+	rate := float64(cfg.NumJobs) / cfg.Span
+	recs := make([]Record, cfg.NumJobs)
+	var t float64
+	for i := range recs {
+		t += arrivals.Exp(rate)
+		svc := math.Exp(cfg.ServiceMu + cfg.ServiceSigma*services.Normal())
+		killed := false
+		if hours.Float64() < cfg.WorkingHoursFrac && svc > cfg.KillLimit {
+			svc = cfg.KillLimit
+			killed = true
+		}
+		recs[i] = Record{
+			ID:      i + 1,
+			Submit:  t,
+			Size:    sampleSize(),
+			Service: svc,
+			Killed:  killed,
+		}
+	}
+	return recs
+}
+
+// Default generates the canonical synthetic log used by the experiments.
+func Default() []Record { return Generate(DefaultConfig()) }

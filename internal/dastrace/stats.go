@@ -1,0 +1,109 @@
+package dastrace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"coalloc/internal/stats"
+)
+
+// LogStats summarizes a job log the way Section 2.4 of the paper does.
+type LogStats struct {
+	Jobs          int
+	DistinctSizes int
+	MinSize       int
+	MaxSize       int
+	MeanSize      float64
+	SizeCV        float64
+	// PowerOfTwo maps each power-of-two size to the fraction of jobs
+	// requesting exactly that size (the paper's Table 1).
+	PowerOfTwo map[int]float64
+	// PowerOfTwoMass is the total fraction of jobs with power-of-two sizes.
+	PowerOfTwoMass float64
+	MeanService    float64
+	ServiceCV      float64
+	MaxService     float64
+	// FracServiceUnderKill is the fraction of jobs with service time below
+	// the 900 s kill limit.
+	FracServiceUnderKill float64
+}
+
+// Analyze computes summary statistics for a log.
+func Analyze(recs []Record) LogStats {
+	sizeCount := stats.NewIntCounter()
+	var svc stats.Welford
+	var under int
+	for _, r := range recs {
+		sizeCount.Add(r.Size)
+		svc.Add(r.Service)
+		if r.Service < 900 {
+			under++
+		}
+	}
+	ls := LogStats{
+		Jobs:          len(recs),
+		DistinctSizes: sizeCount.Distinct(),
+		MeanSize:      sizeCount.Mean(),
+		SizeCV:        sizeCount.CV(),
+		PowerOfTwo:    make(map[int]float64),
+		MeanService:   svc.Mean(),
+		ServiceCV:     svc.CV(),
+		MaxService:    svc.Max(),
+	}
+	if len(recs) > 0 {
+		vs := sizeCount.Values()
+		ls.MinSize, ls.MaxSize = vs[0], vs[len(vs)-1]
+		ls.FracServiceUnderKill = float64(under) / float64(len(recs))
+	}
+	for p := 1; p <= ls.MaxSize; p *= 2 {
+		f := sizeCount.Fraction(p)
+		ls.PowerOfTwo[p] = f
+		ls.PowerOfTwoMass += f
+	}
+	return ls
+}
+
+// SizeDensity returns, for each distinct size, the number of jobs with that
+// size — the data behind Fig. 1 of the paper.
+func SizeDensity(recs []Record) (sizes []int, counts []int64) {
+	c := stats.NewIntCounter()
+	for _, r := range recs {
+		c.Add(r.Size)
+	}
+	sizes = c.Values()
+	counts = make([]int64, len(sizes))
+	for i, s := range sizes {
+		counts[i] = c.Count(s)
+	}
+	return sizes, counts
+}
+
+// ServiceHistogram bins the service times of jobs with service <= limit
+// into the given number of equal-width bins — the data behind Fig. 2.
+func ServiceHistogram(recs []Record, limit float64, bins int) *stats.Histogram {
+	h := stats.NewHistogram(0, limit, bins)
+	for _, r := range recs {
+		if r.Service <= limit {
+			h.Add(r.Service)
+		}
+	}
+	return h
+}
+
+// FormatTable1 renders the power-of-two size fractions of a log next to the
+// paper's Table 1 values.
+func FormatTable1(ls LogStats) string {
+	var b strings.Builder
+	b.WriteString("total job size   fraction (this log)   fraction (paper Table 1)\n")
+	powers := make([]int, 0, len(Table1))
+	for p := range Table1 {
+		powers = append(powers, p)
+	}
+	sort.Ints(powers)
+	for _, p := range powers {
+		fmt.Fprintf(&b, "%14d   %19.3f   %24.3f\n", p, ls.PowerOfTwo[p], Table1[p])
+	}
+	fmt.Fprintf(&b, "%14s   %19.3f   %24.3f\n", "total", ls.PowerOfTwoMass, 0.705)
+	return b.String()
+}

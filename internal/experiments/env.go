@@ -1,0 +1,250 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation: it sweeps arrival rates, runs the policies, and renders the
+// same rows and curves the paper reports. Each experiment has a runner
+// keyed by the paper's artifact name (table1..table3, fig1..fig7, ratio).
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"coalloc/internal/cluster"
+	"coalloc/internal/core"
+	"coalloc/internal/dist"
+	"coalloc/internal/plot"
+	"coalloc/internal/workload"
+)
+
+// MulticlusterSizes is the paper's system: 4 clusters of 32 processors.
+var MulticlusterSizes = []int{32, 32, 32, 32}
+
+// SingleClusterSizes is the reference system: one 128-processor cluster.
+var SingleClusterSizes = []int{128}
+
+// Limits are the paper's job-component-size limits.
+var Limits = []int{16, 24, 32}
+
+// Params controls the fidelity/cost of the experiment runs.
+type Params struct {
+	// Seed is the master seed; replications use Seed, Seed+1, ...
+	Seed uint64
+	// WarmupJobs and MeasureJobs per run (see core.Config).
+	WarmupJobs, MeasureJobs int
+	// Replications per point; the reported value is the mean.
+	Replications int
+	// Utilizations is the gross-utilization sweep grid for the
+	// response-time curves.
+	Utilizations []float64
+	// ResponseCap stops a sweep once the mean response time exceeds it
+	// (the paper plots up to 10000 s).
+	ResponseCap float64
+	// BacklogWarmup and BacklogMeasure are the virtual durations of the
+	// constant-backlog (maximal utilization) runs.
+	BacklogWarmup, BacklogMeasure float64
+	// DataDir, when non-empty, receives one CSV file per experiment.
+	DataDir string
+}
+
+// DefaultParams returns publication-fidelity settings.
+func DefaultParams() Params {
+	return Params{
+		Seed:           1,
+		WarmupJobs:     3000,
+		MeasureJobs:    30000,
+		Replications:   3,
+		Utilizations:   grid(0.10, 0.95, 0.05),
+		ResponseCap:    10000,
+		BacklogWarmup:  100_000,
+		BacklogMeasure: 1_000_000,
+	}
+}
+
+// QuickParams returns reduced settings for tests and benchmarks.
+func QuickParams() Params {
+	return Params{
+		Seed:           1,
+		WarmupJobs:     300,
+		MeasureJobs:    3000,
+		Replications:   1,
+		Utilizations:   grid(0.15, 0.85, 0.10),
+		ResponseCap:    10000,
+		BacklogWarmup:  20_000,
+		BacklogMeasure: 100_000,
+	}
+}
+
+func grid(lo, hi, step float64) []float64 {
+	var g []float64
+	for u := lo; u <= hi+1e-9; u += step {
+		g = append(g, math.Round(u*1000)/1000)
+	}
+	return g
+}
+
+// Env bundles the parameters with the workload distributions derived from
+// the synthetic DAS trace; all experiments share one Env.
+type Env struct {
+	Params
+	Derived workload.Derived
+}
+
+// NewEnv derives the canonical workload and returns a ready environment.
+func NewEnv(p Params) *Env {
+	return &Env{Params: p, Derived: workload.DeriveDefault()}
+}
+
+// MultiSpec returns the multicluster workload for a component-size limit,
+// with the given total-size distribution (Sizes128 or Sizes64).
+func (e *Env) MultiSpec(limit int, sizes *dist.EmpiricalInt) workload.Spec {
+	return workload.Spec{
+		Sizes:           sizes,
+		Service:         e.Derived.Service,
+		ComponentLimit:  limit,
+		Clusters:        len(MulticlusterSizes),
+		ExtensionFactor: workload.DefaultExtensionFactor,
+	}
+}
+
+// SCSpec returns the single-cluster reference workload (total requests, no
+// splitting, no extension).
+func (e *Env) SCSpec(sizes *dist.EmpiricalInt) workload.Spec {
+	return workload.Spec{
+		Sizes:           sizes,
+		Service:         e.Derived.Service,
+		ComponentLimit:  sizes.Max(),
+		Clusters:        1,
+		ExtensionFactor: workload.DefaultExtensionFactor, // never applied: 1 component
+	}
+}
+
+// CurveSpec names one response-time-versus-utilization curve.
+type CurveSpec struct {
+	Label        string
+	Policy       string
+	ClusterSizes []int
+	Spec         workload.Spec
+	QueueWeights []float64 // nil = balanced
+	Fit          cluster.Fit
+}
+
+// Curve sweeps the utilization grid for one configuration and returns the
+// measured (gross utilization, mean response time) series. The points run
+// concurrently (see parallel.go); the curve still ends at the first
+// saturated point or once the response cap is exceeded, as in the paper's
+// plots.
+func (e *Env) Curve(cs CurveSpec) (plot.Series, error) {
+	results, err := runPoints(e.Utilizations, func(u float64) (core.Result, error) {
+		return e.point(cs, u)
+	})
+	if err != nil {
+		return plot.Series{Name: cs.Label}, err
+	}
+	s := plot.Series{Name: cs.Label}
+	for _, res := range results {
+		s.Add(res.GrossUtilization, res.MeanResponse)
+		if res.Saturated || res.MeanResponse > e.ResponseCap {
+			break
+		}
+	}
+	return s, nil
+}
+
+// CurveNet is like Curve but returns two series over the same runs: the
+// response time against the measured gross utilization and against the
+// measured net utilization (for Fig. 7).
+func (e *Env) CurveNet(cs CurveSpec) (gross, net plot.Series, err error) {
+	gross = plot.Series{Name: cs.Label + " gross"}
+	net = plot.Series{Name: cs.Label + " net"}
+	results, err := runPoints(e.Utilizations, func(u float64) (core.Result, error) {
+		return e.point(cs, u)
+	})
+	if err != nil {
+		return gross, net, err
+	}
+	for _, res := range results {
+		gross.Add(res.GrossUtilization, res.MeanResponse)
+		net.Add(res.NetUtilization, res.MeanResponse)
+		if res.Saturated || res.MeanResponse > e.ResponseCap {
+			break
+		}
+	}
+	return gross, net, nil
+}
+
+// Point runs one configuration at one offered gross utilization.
+func (e *Env) Point(cs CurveSpec, util float64) (core.Result, error) {
+	return e.point(cs, util)
+}
+
+func (e *Env) point(cs CurveSpec, util float64) (core.Result, error) {
+	var capacity int
+	for _, s := range cs.ClusterSizes {
+		capacity += s
+	}
+	cfg := core.Config{
+		ClusterSizes: cs.ClusterSizes,
+		Spec:         cs.Spec,
+		Policy:       cs.Policy,
+		Fit:          cs.Fit,
+		ArrivalRate:  cs.Spec.ArrivalRateForGrossUtilization(util, capacity),
+		QueueWeights: cs.QueueWeights,
+		WarmupJobs:   e.WarmupJobs,
+		MeasureJobs:  e.MeasureJobs,
+		Seed:         e.Seed,
+	}
+	return core.RunReplications(cfg, e.Replications)
+}
+
+// SaveCSV writes the series of an experiment to DataDir (when configured).
+func (e *Env) SaveCSV(name string, series []plot.Series) error {
+	if e.DataDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(e.DataDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(e.DataDir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return plot.WriteCSV(f, series)
+}
+
+// standardCurves returns the four policy curves of Fig. 3 for one
+// component-size limit and queue balance.
+func (e *Env) standardCurves(limit int, weights []float64) []CurveSpec {
+	spec := e.MultiSpec(limit, e.Derived.Sizes128)
+	return []CurveSpec{
+		{Label: "SC", Policy: "SC", ClusterSizes: SingleClusterSizes, Spec: e.SCSpec(e.Derived.Sizes128)},
+		{Label: "GS", Policy: "GS", ClusterSizes: MulticlusterSizes, Spec: spec},
+		{Label: "LS", Policy: "LS", ClusterSizes: MulticlusterSizes, Spec: spec, QueueWeights: weights},
+		{Label: "LP", Policy: "LP", ClusterSizes: MulticlusterSizes, Spec: spec, QueueWeights: weights},
+	}
+}
+
+// balanceName labels the two routing cases.
+func balanceName(weights []float64) string {
+	if weights == nil {
+		return "balanced"
+	}
+	return "unbalanced"
+}
+
+// fmtF renders a float with 3 decimals, or "-" for NaN.
+func fmtF(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// fmtResp renders a response time in seconds, or "-" for NaN.
+func fmtResp(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", v)
+}

@@ -1,0 +1,355 @@
+package experiments
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"coalloc/internal/core"
+	"coalloc/internal/plot"
+)
+
+// tinyParams keeps integration runs fast while still exercising the full
+// pipeline.
+func tinyParams() Params {
+	p := QuickParams()
+	p.WarmupJobs = 100
+	p.MeasureJobs = 800
+	p.Utilizations = []float64{0.2, 0.4, 0.6}
+	p.BacklogWarmup = 5000
+	p.BacklogMeasure = 30000
+	return p
+}
+
+func TestRegistryNames(t *testing.T) {
+	names := Names()
+	want := []string{"backfill", "discipline", "extsweep", "fig1", "fig2", "fig3", "fig4",
+		"fig5", "fig6", "fig7", "fits", "ratio", "reenable", "reqtypes",
+		"sizeclasses", "table1", "table2", "table3", "workload"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+	for _, n := range names {
+		if Describe(n) == "" {
+			t.Errorf("experiment %s lacks a description", n)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	env := NewEnv(tinyParams())
+	if _, err := Run("nope", env); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestCheapExperimentsRender(t *testing.T) {
+	env := NewEnv(tinyParams())
+	expect := map[string][]string{
+		"table1":   {"Table 1", "0.190"},
+		"table2":   {"Table 2", "paper"},
+		"fig1":     {"Fig. 1", "64"},
+		"fig2":     {"Fig. 2", "900"},
+		"ratio":    {"gross/net", "1.2"},
+		"workload": {"DAS-s-128", "DAS-t-900"},
+	}
+	for name, wants := range expect {
+		out, err := Run(name, env)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, w := range wants {
+			if !strings.Contains(out, w) {
+				t.Errorf("%s output missing %q", name, w)
+			}
+		}
+	}
+}
+
+func TestFig3QuickShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	env := NewEnv(tinyParams())
+	out, err := Run("fig3", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"limit 16", "limit 24", "limit 32", "balanced", "unbalanced", "SC", "LS", "GS", "LP"} {
+		if !strings.Contains(out, w) {
+			t.Errorf("fig3 output missing %q", w)
+		}
+	}
+}
+
+func TestFig4Renders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	p := tinyParams()
+	p.Utilizations = []float64{0.3, 0.5}
+	env := NewEnv(p)
+	out, err := Run("fig4", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"local avg", "global avg", "gross util", "net util", "LP"} {
+		if !strings.Contains(out, w) {
+			t.Errorf("fig4 output missing %q", w)
+		}
+	}
+}
+
+func TestFig5Renders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	env := NewEnv(tinyParams())
+	out, err := Run("fig5", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"SC 64", "SC 128", "LS 64", "LS 128"} {
+		if !strings.Contains(out, w) {
+			t.Errorf("fig5 output missing %q", w)
+		}
+	}
+}
+
+func TestFig6And7Render(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	p := tinyParams()
+	p.Utilizations = []float64{0.3, 0.5}
+	env := NewEnv(p)
+	out6, err := Run("fig6", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"LS 16", "LS 24", "LS 32", "GS 16"} {
+		if !strings.Contains(out6, w) {
+			t.Errorf("fig6 output missing %q", w)
+		}
+	}
+	out7, err := Run("fig7", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"gross", "net", "ratio"} {
+		if !strings.Contains(out7, w) {
+			t.Errorf("fig7 output missing %q", w)
+		}
+	}
+}
+
+func TestTable3Renders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	env := NewEnv(tinyParams())
+	out, err := Run("table3", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"Table 3", "16", "24", "32", "SC reference"} {
+		if !strings.Contains(out, w) {
+			t.Errorf("table3 output missing %q", w)
+		}
+	}
+}
+
+func TestCurveStopsAtSaturation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	p := tinyParams()
+	p.Utilizations = []float64{0.3, 0.9, 0.95} // 0.9 saturates GS
+	env := NewEnv(p)
+	cs := CurveSpec{
+		Label:        "GS",
+		Policy:       "GS",
+		ClusterSizes: MulticlusterSizes,
+		Spec:         env.MultiSpec(16, env.Derived.Sizes128),
+	}
+	s, err := env.Curve(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Errorf("curve has %d points; the sweep should stop at the first saturated point", s.Len())
+	}
+}
+
+func TestSaveCSVWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	p := tinyParams()
+	p.DataDir = dir
+	env := NewEnv(p)
+	if _, err := Run("fig1", env); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "series,x,y") {
+		t.Errorf("CSV header missing: %q", string(data[:20]))
+	}
+}
+
+func TestDefaultAndQuickParams(t *testing.T) {
+	d := DefaultParams()
+	q := QuickParams()
+	if d.MeasureJobs <= q.MeasureJobs {
+		t.Error("default params should be heavier than quick")
+	}
+	if len(d.Utilizations) == 0 || d.Utilizations[0] != 0.10 {
+		t.Errorf("default grid %v", d.Utilizations)
+	}
+	last := d.Utilizations[len(d.Utilizations)-1]
+	if last < 0.9 || last > 0.96 {
+		t.Errorf("default grid ends at %g", last)
+	}
+}
+
+func TestBalanceName(t *testing.T) {
+	if balanceName(nil) != "balanced" || balanceName([]float64{2, 1}) != "unbalanced" {
+		t.Error("balance names")
+	}
+}
+
+func TestRunPointsOrderAndErrors(t *testing.T) {
+	env := NewEnv(tinyParams())
+	cs := CurveSpec{
+		Policy:       "GS",
+		ClusterSizes: MulticlusterSizes,
+		Spec:         env.MultiSpec(16, env.Derived.Sizes128),
+	}
+	grid := []float64{0.2, 0.3, 0.4}
+	results, err := runPoints(grid, func(u float64) (core.Result, error) {
+		return env.point(cs, u)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(grid) {
+		t.Fatalf("%d results for %d points", len(results), len(grid))
+	}
+	// Results are in grid order: offered load increases monotonically.
+	for i := 1; i < len(results); i++ {
+		if results[i].OfferedGross <= results[i-1].OfferedGross {
+			t.Errorf("results out of grid order: %v then %v",
+				results[i-1].OfferedGross, results[i].OfferedGross)
+		}
+	}
+	// Errors propagate.
+	_, err = runPoints(grid, func(u float64) (core.Result, error) {
+		if u == 0.3 {
+			return core.Result{}, errSentinel
+		}
+		return core.Result{}, nil
+	})
+	if err != errSentinel {
+		t.Errorf("error not propagated: %v", err)
+	}
+}
+
+var errSentinel = errors.New("sentinel")
+
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	// The parallel sweep must produce byte-identical curves to a serial
+	// evaluation of the same points (each point is an independent,
+	// seeded simulation).
+	env := NewEnv(tinyParams())
+	cs := CurveSpec{
+		Label:        "GS",
+		Policy:       "GS",
+		ClusterSizes: MulticlusterSizes,
+		Spec:         env.MultiSpec(16, env.Derived.Sizes128),
+	}
+	par, err := env.Curve(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var serial plot.Series
+	for _, u := range env.Utilizations {
+		res, err := env.point(cs, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial.Add(res.GrossUtilization, res.MeanResponse)
+		if res.Saturated || res.MeanResponse > env.ResponseCap {
+			break
+		}
+	}
+	if par.Len() != serial.Len() {
+		t.Fatalf("parallel %d points, serial %d", par.Len(), serial.Len())
+	}
+	for i := range serial.X {
+		if par.X[i] != serial.X[i] || par.Y[i] != serial.Y[i] {
+			t.Fatalf("point %d differs: (%g,%g) vs (%g,%g)",
+				i, par.X[i], par.Y[i], serial.X[i], serial.Y[i])
+		}
+	}
+}
+
+func TestAblationsRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	p := tinyParams()
+	p.Utilizations = []float64{0.3, 0.5}
+	p.BacklogWarmup = 2000
+	p.BacklogMeasure = 10000
+	env := NewEnv(p)
+	expect := map[string][]string{
+		"reqtypes":    {"unordered", "ordered", "flexible", "total"},
+		"fits":        {"WF", "FF", "BF"},
+		"extsweep":    {"1.00", "1.25", "1.50", "SC reference"},
+		"reenable":    {"disable order", "fixed order"},
+		"backfill":    {"GS-EASY", "GS-CONS", "SC-EASY"},
+		"discipline":  {"FCFS", "SPF", "EASY"},
+		"sizeclasses": {"65-128", "SC", "LS"},
+	}
+	for name, wants := range expect {
+		out, err := Run(name, env)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, w := range wants {
+			if !strings.Contains(out, w) {
+				t.Errorf("%s output missing %q", name, w)
+			}
+		}
+	}
+}
+
+func TestAllRunsEveryExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	p := tinyParams()
+	p.Utilizations = []float64{0.3}
+	p.MeasureJobs = 400
+	p.WarmupJobs = 50
+	p.BacklogWarmup = 1000
+	p.BacklogMeasure = 5000
+	env := NewEnv(p)
+	out, err := All(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range Names() {
+		if !strings.Contains(out, "================ "+name+" ================") {
+			t.Errorf("All output missing section %q", name)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+
+	"coalloc/internal/core"
+)
+
+// The utilization sweeps behind each figure are embarrassingly parallel:
+// every (configuration, utilization) point is an independent simulation.
+// runPoints fans the points of one curve out over a bounded worker pool
+// while preserving the sweep's sequential early-stop semantics: the curve
+// still ends at the first saturated (or over-cap) point, exactly as the
+// serial sweep would, because results are consumed in grid order.
+
+// pointResult pairs a grid index with its simulation outcome.
+type pointResult struct {
+	idx int
+	res core.Result
+	err error
+}
+
+// maxWorkers bounds the sweep parallelism.
+func maxWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// runPoints runs fn over the grid in windows of maxWorkers() concurrent
+// points and returns results in grid order. After each window it checks
+// for a saturated (or failed) point: points beyond the first saturated one
+// are never launched, so the wasted work of a parallel sweep is bounded by
+// one window past saturation — super-saturated simulations are the most
+// expensive ones, and the serial sweep's early stop is preserved up to
+// window granularity. The returned slice may therefore be shorter than the
+// grid; it always extends at least through the first saturated point.
+func runPoints(grid []float64, fn func(util float64) (core.Result, error)) ([]core.Result, error) {
+	w := maxWorkers()
+	results := make([]core.Result, 0, len(grid))
+	for start := 0; start < len(grid); start += w {
+		end := start + w
+		if end > len(grid) {
+			end = len(grid)
+		}
+		window := make([]core.Result, end-start)
+		errs := make([]error, end-start)
+		var wg sync.WaitGroup
+		for i := start; i < end; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				window[i-start], errs[i-start] = fn(grid[i])
+			}()
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		results = append(results, window...)
+		for _, res := range window {
+			if res.Saturated {
+				return results, nil
+			}
+		}
+	}
+	return results, nil
+}

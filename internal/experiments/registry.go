@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Runner reproduces one paper artifact and returns its rendered report.
+type Runner func(*Env) (string, error)
+
+// registry maps experiment ids to runners.
+var registry = map[string]struct {
+	run  Runner
+	desc string
+}{
+	"table1":   {Table1, "fractions of jobs with power-of-two sizes"},
+	"table2":   {Table2, "component-count fractions per size limit"},
+	"table3":   {Table3, "maximal gross/net utilization under constant backlog"},
+	"fig1":     {Fig1, "density of job-request sizes"},
+	"fig2":     {Fig2, "density of service times"},
+	"fig3":     {Fig3, "response time vs utilization, all policies and limits"},
+	"fig4":     {Fig4, "response-time breakdown near LP saturation"},
+	"fig5":     {Fig5, "total-job-size cap: DAS-s-64 vs DAS-s-128"},
+	"fig6":     {Fig6, "sensitivity to the component-size limit"},
+	"fig7":     {Fig7, "gross vs net utilization curves"},
+	"ratio":    {Ratio, "analytic gross/net utilization ratios"},
+	"workload": {WorkloadSummary, "derived distribution summary"},
+	// Ablations beyond the paper (see DESIGN.md section 6).
+	"reqtypes":    {ReqTypes, "ablation: unordered vs ordered vs flexible vs total requests"},
+	"fits":        {FitRules, "ablation: Worst Fit vs First Fit vs Best Fit placement"},
+	"extsweep":    {ExtSweep, "ablation: wide-area extension factor sweep"},
+	"reenable":    {Reenable, "ablation: LS queue re-enable order"},
+	"backfill":    {Backfill, "ablation: EASY/conservative backfilling vs plain FCFS"},
+	"discipline":  {Discipline, "ablation: FCFS vs SPF vs EASY queue discipline"},
+	"sizeclasses": {SizeClasses, "ablation: response time by total-job-size class"},
+}
+
+// Names returns the experiment ids in a stable order.
+func Names() []string {
+	var names []string
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Describe returns the one-line description of an experiment.
+func Describe(name string) string { return registry[name].desc }
+
+// Run executes one experiment by id.
+func Run(name string, e *Env) (string, error) {
+	r, ok := registry[name]
+	if !ok {
+		return "", fmt.Errorf("experiments: unknown experiment %q (have %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return r.run(e)
+}
+
+// All runs every experiment in a deterministic order and concatenates the
+// reports.
+func All(e *Env) (string, error) {
+	order := []string{
+		"workload", "table1", "fig1", "fig2", "table2", "ratio",
+		"fig3", "fig4", "fig5", "fig6", "fig7", "table3",
+		"reqtypes", "fits", "extsweep", "reenable", "backfill", "discipline",
+		"sizeclasses",
+	}
+	var b strings.Builder
+	for _, name := range order {
+		out, err := Run(name, e)
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Fprintf(&b, "================ %s ================\n\n%s\n", name, out)
+	}
+	return b.String(), nil
+}

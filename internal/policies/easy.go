@@ -1,0 +1,193 @@
+package policies
+
+import (
+	"math"
+	"sort"
+
+	"coalloc/internal/cluster"
+	"coalloc/internal/queues"
+	"coalloc/internal/workload"
+)
+
+// EASY is GS with EASY (aggressive) backfilling over unordered requests —
+// an extension beyond the paper, which notes that LS's multiple queues act
+// as "a form of backfilling with a window equal to the number of
+// clusters". EASY removes the window limit: when the head of the global
+// queue does not fit, it receives a reservation at the earliest time it
+// will fit given the known finish times of the running jobs, and any later
+// job in the queue may start immediately as long as doing so does not
+// delay that reservation.
+//
+// Because the simulator knows exact service times, the reservation uses
+// exact runtimes; a production EASY scheduler relies on user estimates,
+// making real backfilling somewhat less effective. This implementation is
+// therefore an upper bound on EASY's benefit (see DESIGN.md section 6).
+type EASY struct {
+	name    string
+	q       queues.FIFO
+	fit     cluster.Fit
+	running []runInfo
+}
+
+// runInfo tracks one running job for reservation arithmetic.
+type runInfo struct {
+	job       *workload.Job
+	finish    float64
+	comps     []int
+	placement []int
+}
+
+// NewEASY returns the EASY-backfilling global scheduler.
+func NewEASY(fit cluster.Fit) *EASY { return &EASY{name: "GS-EASY", fit: fit} }
+
+// NewSCEASY returns the single-cluster FCFS + EASY reference policy.
+func NewSCEASY() *EASY { return &EASY{name: "SC-EASY", fit: cluster.WorstFit} }
+
+// Name returns "GS-EASY" or "SC-EASY".
+func (p *EASY) Name() string { return p.name }
+
+// Submit enqueues the job at the global queue and runs a scheduling pass.
+func (p *EASY) Submit(ctx Ctx, j *workload.Job) {
+	j.Queue = workload.GlobalQueue
+	p.q.Push(j)
+	p.pass(ctx)
+}
+
+// JobDeparted drops the job from the running set and runs a pass.
+func (p *EASY) JobDeparted(ctx Ctx, j *workload.Job) {
+	for i := range p.running {
+		if p.running[i].job == j {
+			p.running = append(p.running[:i], p.running[i+1:]...)
+			break
+		}
+	}
+	p.pass(ctx)
+}
+
+// start dispatches a job and records it in the running set.
+func (p *EASY) start(ctx Ctx, j *workload.Job, placement []int) {
+	ctx.Dispatch(j, placement)
+	p.running = append(p.running, runInfo{
+		job:       j,
+		finish:    ctx.Now() + j.ExtendedServiceTime,
+		comps:     j.Components,
+		placement: placement,
+	})
+}
+
+// pass starts head jobs while they fit, then backfills behind a blocked
+// head without delaying its reservation.
+func (p *EASY) pass(ctx Ctx) {
+	m := ctx.Cluster()
+	// Phase 1: plain FCFS starts from the head.
+	for {
+		head := p.q.Head()
+		if head == nil {
+			return
+		}
+		placement, ok := m.Place(head.Components, p.fit)
+		if !ok {
+			break
+		}
+		p.q.Pop()
+		p.start(ctx, head, placement)
+	}
+	// Phase 2: the head is blocked; compute its reservation.
+	head := p.q.Head()
+	shadow := p.earliestFit(m, head.Components, ctx.Now(), nil)
+	if math.IsInf(shadow, 1) {
+		// The head can never fit (a component exceeds every cluster);
+		// it blocks the queue forever, exactly as plain FCFS would.
+		return
+	}
+	// Phase 3: scan the rest of the queue for backfill candidates.
+	// Pop/re-push is avoided: collect indices to start, then rebuild.
+	var started []*workload.Job
+	p.q.ForEachWaiting(func(idx int, j *workload.Job) bool {
+		if idx == 0 {
+			return true // the head itself
+		}
+		placement, ok := m.Place(j.Components, p.fit)
+		if !ok {
+			return true
+		}
+		// Would starting j delay the head's reservation? Evaluate the
+		// head's earliest fit with j hypothetically running.
+		hypo := runInfo{
+			finish:    ctx.Now() + j.ExtendedServiceTime,
+			comps:     j.Components,
+			placement: placement,
+		}
+		m.Alloc(j.Components, placement)
+		delayed := p.earliestFit(m, head.Components, ctx.Now(), &hypo) > shadow
+		if delayed {
+			m.Release(j.Components, placement)
+			return true
+		}
+		// Start j for real: the processors are already allocated, so
+		// dispatch must not allocate again — start via dispatchHeld.
+		p.dispatchHeld(ctx, j, placement)
+		started = append(started, j)
+		return true
+	})
+	if len(started) > 0 {
+		p.q.RemoveAll(started)
+	}
+}
+
+// dispatchHeld records and dispatches a job whose processors were already
+// allocated during candidate evaluation. It releases them first so the
+// ordinary Dispatch path (which allocates) stays the single source of
+// truth for the cluster bookkeeping.
+func (p *EASY) dispatchHeld(ctx Ctx, j *workload.Job, placement []int) {
+	ctx.Cluster().Release(j.Components, placement)
+	p.start(ctx, j, placement)
+}
+
+// earliestFit returns the earliest time the components fit, given the
+// current idle state plus the future releases of the running jobs (and an
+// optional extra hypothetical job). It returns +Inf when the components
+// cannot fit even on an empty system.
+func (p *EASY) earliestFit(m *cluster.Multicluster, comps []int, now float64, extra *runInfo) float64 {
+	idle := make([]int, m.NumClusters())
+	for c := range idle {
+		idle[c] = m.Idle(c)
+	}
+	if fitsVector(idle, comps, p.fit) {
+		return now
+	}
+	releases := make([]runInfo, 0, len(p.running)+1)
+	releases = append(releases, p.running...)
+	if extra != nil {
+		releases = append(releases, *extra)
+	}
+	sort.Slice(releases, func(a, b int) bool { return releases[a].finish < releases[b].finish })
+	for _, r := range releases {
+		for i, c := range r.placement {
+			idle[c] += r.comps[i]
+		}
+		if fitsVector(idle, comps, p.fit) {
+			return r.finish
+		}
+	}
+	return math.Inf(1)
+}
+
+// fitsVector is the greedy distinct-cluster fit test on a plain idle
+// vector — the same rule Multicluster.Place applies, evaluated on a
+// hypothetical state (see placeVector in profile.go).
+func fitsVector(idle []int, comps []int, fit cluster.Fit) bool {
+	_, ok := placeVector(idle, comps, fit)
+	return ok
+}
+
+// Queued returns the queue length.
+func (p *EASY) Queued() int { return p.q.Len() }
+
+// QueuedAt returns the global queue length for workload.GlobalQueue.
+func (p *EASY) QueuedAt(q int) int {
+	if q == workload.GlobalQueue {
+		return p.q.Len()
+	}
+	return 0
+}

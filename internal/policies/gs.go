@@ -1,0 +1,93 @@
+package policies
+
+import (
+	"coalloc/internal/cluster"
+	"coalloc/internal/queues"
+	"coalloc/internal/workload"
+)
+
+// GS is the global-scheduler policy: one global FCFS queue for single- and
+// multi-component jobs alike. The scheduler knows the idle counts of every
+// cluster and places components Worst Fit on distinct clusters. Under
+// strict FCFS a scheduling pass stops at the first head job that does not
+// fit (with a single queue, "disable until the next departure" and
+// "stop the pass" coincide).
+type GS struct {
+	name string
+	q    queues.FIFO
+	fit  cluster.Fit
+}
+
+// NewGS returns the GS policy with the given placement rule (the paper
+// uses cluster.WorstFit).
+func NewGS(fit cluster.Fit) *GS { return &GS{name: "GS", fit: fit} }
+
+// NewSC returns the single-cluster FCFS reference policy. SC is GS run on
+// a one-cluster system scheduling total requests; only the reported name
+// differs.
+func NewSC() *GS { return &GS{name: "SC", fit: cluster.WorstFit} }
+
+// Name returns "GS" or "SC".
+func (p *GS) Name() string { return p.name }
+
+// Submit enqueues the job at the global queue and runs a scheduling pass.
+func (p *GS) Submit(ctx Ctx, j *workload.Job) {
+	j.Queue = workload.GlobalQueue
+	p.q.Push(j)
+	p.pass(ctx)
+}
+
+// JobDeparted runs a scheduling pass; freed processors may admit the head.
+func (p *GS) JobDeparted(ctx Ctx, _ *workload.Job) { p.pass(ctx) }
+
+// pass starts jobs from the head of the queue while they fit.
+func (p *GS) pass(ctx Ctx) {
+	m := ctx.Cluster()
+	for {
+		head := p.q.Head()
+		if head == nil {
+			return
+		}
+		placement, ok := p.placeFor(m, head)
+		if !ok {
+			return
+		}
+		p.q.Pop()
+		ctx.Dispatch(head, placement)
+	}
+}
+
+// placeFor finds processors for a job according to its request type. GS is
+// the only policy supporting all four types; LS and LP are defined by the
+// paper for unordered requests only.
+func (p *GS) placeFor(m *cluster.Multicluster, j *workload.Job) ([]int, bool) {
+	switch j.Type {
+	case workload.Ordered:
+		if m.FitsOrdered(j.Components, j.OrderedPlacement) {
+			return j.OrderedPlacement, true
+		}
+		return nil, false
+	case workload.Flexible:
+		components, placement, ok := m.CarveFlexible(j.TotalSize)
+		if !ok {
+			return nil, false
+		}
+		// The dispatcher recomputes the extension from this split.
+		j.Components = components
+		return placement, true
+	default: // Unordered and Total (a single pseudo-component).
+		return m.Place(j.Components, p.fit)
+	}
+}
+
+// Queued returns the queue length.
+func (p *GS) Queued() int { return p.q.Len() }
+
+// QueuedAt returns the global queue length for workload.GlobalQueue and 0
+// otherwise.
+func (p *GS) QueuedAt(q int) int {
+	if q == workload.GlobalQueue {
+		return p.q.Len()
+	}
+	return 0
+}

@@ -1,0 +1,140 @@
+package policies
+
+import (
+	"fmt"
+
+	"coalloc/internal/cluster"
+	"coalloc/internal/queues"
+	"coalloc/internal/workload"
+)
+
+// LP is the local-priority policy: single-component jobs are distributed
+// among per-cluster local queues, and all multi-component jobs go to one
+// global queue. The local schedulers have priority — the global scheduler
+// may start jobs only while at least one local queue is empty.
+//
+// Disable bookkeeping follows the paper: a queue (local or global) whose
+// head does not fit is disabled until the next departure. At a departure,
+// if at least one local queue is empty, the global queue and the local
+// queues are all enabled, starting with the global queue; otherwise only
+// the local queues are enabled, and the global queue joins the visit list
+// as soon as a local queue becomes empty.
+type LP struct {
+	locals        []queues.FIFO
+	global        queues.FIFO
+	set           *queues.EnableSet // local queues only
+	globalEnabled bool              // head-miss disable state of the global queue
+	fit           cluster.Fit
+}
+
+// NewLP returns the LP policy for a system of the given number of clusters.
+func NewLP(clusters int, fit cluster.Fit) *LP {
+	if clusters <= 0 {
+		panic(fmt.Sprintf("policies: NewLP(%d)", clusters))
+	}
+	return &LP{
+		locals:        make([]queues.FIFO, clusters),
+		set:           queues.NewEnableSet(clusters),
+		globalEnabled: true,
+		fit:           fit,
+	}
+}
+
+// Name returns "LP".
+func (p *LP) Name() string { return "LP" }
+
+// Submit routes multi-component jobs to the global queue and
+// single-component jobs to their local queue, then runs a scheduling pass.
+func (p *LP) Submit(ctx Ctx, j *workload.Job) {
+	if j.Multi() {
+		j.Queue = workload.GlobalQueue
+		p.global.Push(j)
+	} else {
+		if j.Queue < 0 || j.Queue >= len(p.locals) {
+			panic(fmt.Sprintf("policies: LP job %d routed to queue %d of %d", j.ID, j.Queue, len(p.locals)))
+		}
+		p.locals[j.Queue].Push(j)
+	}
+	p.pass(ctx)
+}
+
+// JobDeparted re-enables the queues (global first, per the paper) and runs
+// a pass.
+func (p *LP) JobDeparted(ctx Ctx, _ *workload.Job) {
+	p.globalEnabled = true
+	p.set.EnableAll()
+	p.pass(ctx)
+}
+
+// anyLocalEmpty reports whether some local queue is empty — the paper's
+// precondition for the global scheduler to run jobs.
+func (p *LP) anyLocalEmpty() bool {
+	for i := range p.locals {
+		if p.locals[i].Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// pass visits the global queue (when eligible) and then the enabled local
+// queues, in rounds, until a full round starts nothing.
+func (p *LP) pass(ctx Ctx) {
+	m := ctx.Cluster()
+	round := make([]int, 0, len(p.locals))
+	for {
+		progress := false
+		// The global queue is visited first, and only while it is both
+		// enabled (no unserviced head miss) and eligible (some local
+		// queue empty).
+		if p.globalEnabled && p.anyLocalEmpty() {
+			if head := p.global.Head(); head != nil {
+				if placement, ok := m.Place(head.Components, p.fit); ok {
+					p.global.Pop()
+					ctx.Dispatch(head, placement)
+					progress = true
+				} else {
+					p.globalEnabled = false
+				}
+			}
+		}
+		round = append(round[:0], p.set.Enabled()...)
+		for _, q := range round {
+			head := p.locals[q].Head()
+			if head == nil {
+				continue
+			}
+			if m.FitsOn(q, head.Components[0]) {
+				p.locals[q].Pop()
+				ctx.Dispatch(head, []int{q})
+				progress = true
+			} else {
+				p.set.Disable(q)
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// Queued returns the total number of waiting jobs (global + local).
+func (p *LP) Queued() int {
+	n := p.global.Len()
+	for i := range p.locals {
+		n += p.locals[i].Len()
+	}
+	return n
+}
+
+// QueuedAt returns the length of local queue q, or of the global queue for
+// workload.GlobalQueue.
+func (p *LP) QueuedAt(q int) int {
+	if q == workload.GlobalQueue {
+		return p.global.Len()
+	}
+	if q < 0 || q >= len(p.locals) {
+		return 0
+	}
+	return p.locals[q].Len()
+}

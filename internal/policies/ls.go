@@ -1,0 +1,132 @@
+package policies
+
+import (
+	"fmt"
+
+	"coalloc/internal/cluster"
+	"coalloc/internal/queues"
+	"coalloc/internal/workload"
+)
+
+// LS is the local-schedulers policy: each cluster has a local FCFS queue
+// receiving both single- and multi-component jobs. Every local scheduler
+// has global knowledge of idle processors, but single-component jobs may
+// run only on their own cluster, while multi-component jobs are
+// co-allocated over the whole system.
+//
+// Scheduling visits all enabled queues in rounds, starting at most one job
+// per queue per round. A queue whose head does not fit is disabled until
+// the next departure from the system; at each departure the queues are
+// re-enabled in the order in which they were disabled. The paper notes
+// that picking jobs from any of the C queue heads acts as a form of
+// backfilling with a window equal to the number of clusters.
+type LS struct {
+	qs          []queues.FIFO
+	set         *queues.EnableSet
+	fit         cluster.Fit
+	sortedOrder bool
+}
+
+// NewLS returns the LS policy for a system of the given number of clusters.
+func NewLS(clusters int, fit cluster.Fit) *LS {
+	if clusters <= 0 {
+		panic(fmt.Sprintf("policies: NewLS(%d)", clusters))
+	}
+	return &LS{
+		qs:  make([]queues.FIFO, clusters),
+		set: queues.NewEnableSet(clusters),
+		fit: fit,
+	}
+}
+
+// NewLSSortedReenable returns an LS variant that, at each departure,
+// re-enables the queues in fixed index order instead of the paper's
+// disable order — the re-enable-order ablation of DESIGN.md.
+func NewLSSortedReenable(clusters int, fit cluster.Fit) *LS {
+	p := NewLS(clusters, fit)
+	p.sortedOrder = true
+	return p
+}
+
+// Name returns "LS".
+func (p *LS) Name() string { return "LS" }
+
+// Submit enqueues the job at its local queue and runs a scheduling pass.
+// The job's Queue field must name a valid local queue.
+func (p *LS) Submit(ctx Ctx, j *workload.Job) {
+	if j.Queue < 0 || j.Queue >= len(p.qs) {
+		panic(fmt.Sprintf("policies: LS job %d routed to queue %d of %d", j.ID, j.Queue, len(p.qs)))
+	}
+	p.qs[j.Queue].Push(j)
+	p.pass(ctx)
+}
+
+// JobDeparted re-enables all queues in disable order (or fixed index
+// order for the ablation variant) and runs a pass.
+func (p *LS) JobDeparted(ctx Ctx, _ *workload.Job) {
+	if p.sortedOrder {
+		p.set.EnableAllSorted()
+	} else {
+		p.set.EnableAll()
+	}
+	p.pass(ctx)
+}
+
+// pass repeatedly visits the enabled queues, starting at most one job per
+// queue per round, until a full round starts nothing.
+func (p *LS) pass(ctx Ctx) {
+	m := ctx.Cluster()
+	round := make([]int, 0, len(p.qs))
+	for {
+		progress := false
+		// Snapshot the visit order: Disable mutates the enabled list.
+		round = append(round[:0], p.set.Enabled()...)
+		for _, q := range round {
+			head := p.qs[q].Head()
+			if head == nil {
+				continue // an empty queue is skipped, not disabled
+			}
+			placement, ok := p.place(m, head, q)
+			if !ok {
+				p.set.Disable(q)
+				continue
+			}
+			p.qs[q].Pop()
+			ctx.Dispatch(head, placement)
+			progress = true
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// place finds processors for the head job of queue q: multi-component jobs
+// anywhere in the system, single-component jobs only on cluster q.
+func (p *LS) place(m *cluster.Multicluster, j *workload.Job, q int) ([]int, bool) {
+	if j.Multi() {
+		return m.Place(j.Components, p.fit)
+	}
+	if m.FitsOn(q, j.Components[0]) {
+		return []int{q}, true
+	}
+	return nil, false
+}
+
+// Queued returns the total number of waiting jobs across the local queues.
+func (p *LS) Queued() int {
+	var n int
+	for i := range p.qs {
+		n += p.qs[i].Len()
+	}
+	return n
+}
+
+// QueuedAt returns the length of local queue q (0 for the global queue id,
+// which LS does not have).
+func (p *LS) QueuedAt(q int) int {
+	if q < 0 || q >= len(p.qs) {
+		return 0
+	}
+	return p.qs[q].Len()
+}

@@ -1,0 +1,49 @@
+// Package policies implements the four scheduling policies the paper
+// evaluates: GS (one global queue), LS (one local queue per cluster, all
+// jobs submitted locally), LP (local queues for single-component jobs with
+// priority over a global queue holding the multi-component jobs), and SC
+// (the single-cluster FCFS reference, which is GS on a one-cluster system).
+//
+// All queues are FCFS. The policies decide when a queue may start its head
+// job and on which clusters; the simulator (package core) owns the clock,
+// performs the allocation, and schedules the departure.
+package policies
+
+import (
+	"coalloc/internal/cluster"
+	"coalloc/internal/workload"
+)
+
+// Ctx is the slice of the simulator a policy sees: the processors, and a
+// way to start a job. Dispatch must allocate components[i] processors on
+// cluster placement[i] and schedule the job's departure.
+type Ctx interface {
+	// Cluster returns the multicluster state.
+	Cluster() *cluster.Multicluster
+	// Now returns the current virtual time in seconds.
+	Now() float64
+	// Dispatch starts the job on the given placement now.
+	Dispatch(j *workload.Job, placement []int)
+}
+
+// Policy is a co-allocation scheduling policy. Implementations are not safe
+// for concurrent use; a simulation run is single-threaded.
+type Policy interface {
+	// Name returns the paper's abbreviation (GS, LS, LP, SC).
+	Name() string
+	// Submit enqueues an arriving job and performs a scheduling pass.
+	// For multi-queue policies the job's Queue field selects the local
+	// queue; policies with a global queue overwrite Queue for jobs they
+	// route globally.
+	Submit(ctx Ctx, j *workload.Job)
+	// JobDeparted tells the policy that a job released its processors;
+	// the policy re-enables queues per its rules and performs a
+	// scheduling pass.
+	JobDeparted(ctx Ctx, j *workload.Job)
+	// Queued returns the total number of waiting jobs.
+	Queued() int
+	// QueuedAt returns the number of waiting jobs in the given queue;
+	// use workload.GlobalQueue for the global queue. Policies without
+	// that queue return 0.
+	QueuedAt(q int) int
+}

@@ -1,0 +1,151 @@
+package policies
+
+import (
+	"math"
+	"sort"
+
+	"coalloc/internal/cluster"
+)
+
+// profile is a piecewise-constant forecast of per-cluster idle processors,
+// the data structure behind conservative backfilling: segment i covers
+// [times[i], times[i+1]) (the last segment extends to infinity) with the
+// idle vector idle[i].
+type profile struct {
+	times []float64
+	idle  [][]int
+}
+
+// newProfile builds a profile from the current idle vector and the future
+// releases of the running jobs.
+func newProfile(m *cluster.Multicluster, now float64, running []runInfo) *profile {
+	p := &profile{
+		times: []float64{now},
+		idle:  [][]int{make([]int, m.NumClusters())},
+	}
+	for c := 0; c < m.NumClusters(); c++ {
+		p.idle[0][c] = m.Idle(c)
+	}
+	releases := append([]runInfo(nil), running...)
+	sort.Slice(releases, func(a, b int) bool { return releases[a].finish < releases[b].finish })
+	for _, r := range releases {
+		if r.finish <= now {
+			continue
+		}
+		idx := p.segmentAt(r.finish, true)
+		for s := idx; s < len(p.times); s++ {
+			for i, c := range r.placement {
+				p.idle[s][c] += r.comps[i]
+			}
+		}
+	}
+	return p
+}
+
+// segmentAt returns the index of the segment starting exactly at t,
+// inserting a breakpoint (split) when split is true and none exists.
+func (p *profile) segmentAt(t float64, split bool) int {
+	i := sort.SearchFloat64s(p.times, t)
+	if i < len(p.times) && p.times[i] == t {
+		return i
+	}
+	if !split {
+		return i - 1
+	}
+	// Split segment i-1 at t.
+	prev := p.idle[i-1]
+	cp := make([]int, len(prev))
+	copy(cp, prev)
+	p.times = append(p.times, 0)
+	copy(p.times[i+1:], p.times[i:])
+	p.times[i] = t
+	p.idle = append(p.idle, nil)
+	copy(p.idle[i+1:], p.idle[i:])
+	p.idle[i] = cp
+	return i
+}
+
+// minWindow returns the pointwise minimum idle vector over [t, t+dur).
+func (p *profile) minWindow(t, dur float64) []int {
+	end := t + dur
+	start := sort.SearchFloat64s(p.times, t)
+	if start == len(p.times) || p.times[start] != t {
+		start--
+	}
+	min := make([]int, len(p.idle[0]))
+	copy(min, p.idle[start])
+	for s := start + 1; s < len(p.times) && p.times[s] < end; s++ {
+		for c, v := range p.idle[s] {
+			if v < min[c] {
+				min[c] = v
+			}
+		}
+	}
+	return min
+}
+
+// earliestStart returns the earliest time >= now at which components can
+// hold the same distinct clusters for the whole duration, together with
+// the placement. It returns +Inf when the components can never fit.
+func (p *profile) earliestStart(comps []int, dur float64, fit cluster.Fit) (float64, []int) {
+	for s := 0; s < len(p.times); s++ {
+		t := p.times[s]
+		min := p.minWindow(t, dur)
+		if placement, ok := placeVector(min, comps, fit); ok {
+			return t, placement
+		}
+	}
+	return math.Inf(1), nil
+}
+
+// reserve subtracts the components from the profile over [t, t+dur).
+func (p *profile) reserve(comps, placement []int, t, dur float64) {
+	start := p.segmentAt(t, true)
+	end := p.segmentAt(t+dur, true)
+	for s := start; s < end; s++ {
+		for i, c := range placement {
+			p.idle[s][c] -= comps[i]
+			if p.idle[s][c] < 0 {
+				panic("policies: reservation overlaps beyond capacity")
+			}
+		}
+	}
+}
+
+// placeVector is the greedy distinct-cluster placement on a plain idle
+// vector, returning the chosen clusters.
+func placeVector(idle []int, comps []int, fit cluster.Fit) ([]int, bool) {
+	if len(comps) > len(idle) {
+		return nil, false
+	}
+	used := make([]bool, len(idle))
+	placement := make([]int, len(comps))
+	for ci, need := range comps {
+		best := -1
+		for c := range idle {
+			if used[c] || idle[c] < need {
+				continue
+			}
+			switch fit {
+			case cluster.WorstFit:
+				if best < 0 || idle[c] > idle[best] {
+					best = c
+				}
+			case cluster.BestFit:
+				if best < 0 || idle[c] < idle[best] {
+					best = c
+				}
+			default: // FirstFit
+				if best < 0 {
+					best = c
+				}
+			}
+		}
+		if best < 0 {
+			return nil, false
+		}
+		used[best] = true
+		placement[ci] = best
+	}
+	return placement, true
+}

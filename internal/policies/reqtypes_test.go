@@ -1,0 +1,116 @@
+package policies
+
+import (
+	"testing"
+
+	"coalloc/internal/cluster"
+	"coalloc/internal/workload"
+)
+
+func orderedJob(id int64, comps, placement []int) *workload.Job {
+	total := 0
+	for _, c := range comps {
+		total += c
+	}
+	return &workload.Job{
+		ID: id, TotalSize: total, Components: comps,
+		Type: workload.Ordered, OrderedPlacement: placement,
+	}
+}
+
+func flexJob(id int64, total int) *workload.Job {
+	return &workload.Job{
+		ID: id, TotalSize: total, Components: []int{total},
+		Type: workload.Flexible, ServiceTime: 1, ExtendedServiceTime: 1,
+	}
+}
+
+func totalJob(id int64, total int) *workload.Job {
+	return &workload.Job{
+		ID: id, TotalSize: total, Components: []int{total}, Type: workload.Total,
+	}
+}
+
+func TestGSOrderedUsesFixedClusters(t *testing.T) {
+	ctx := newMockCtx()
+	p := NewGS(cluster.WorstFit)
+	j := orderedJob(1, []int{16, 8}, []int{3, 1})
+	p.Submit(ctx, j)
+	wantIDs(t, ctx.ids(), 1)
+	if j.Placement[0] != 3 || j.Placement[1] != 1 {
+		t.Errorf("ordered job placed on %v, want [3 1]", j.Placement)
+	}
+}
+
+func TestGSOrderedBlocksOnItsCluster(t *testing.T) {
+	ctx := newMockCtx()
+	p := NewGS(cluster.WorstFit)
+	hog := mj(1, 0, 32) // Worst Fit puts it on cluster 0
+	p.Submit(ctx, hog)
+	target := hog.Placement[0]
+	// An ordered job naming the busy cluster must wait, even though
+	// three other clusters are idle.
+	j := orderedJob(2, []int{8}, []int{target})
+	p.Submit(ctx, j)
+	wantIDs(t, ctx.ids(), 1)
+	ctx.finish(p, hog)
+	wantIDs(t, ctx.ids(), 1, 2)
+}
+
+func TestGSFlexibleSpansClusters(t *testing.T) {
+	ctx := newMockCtx()
+	p := NewGS(cluster.WorstFit)
+	j := flexJob(1, 100) // needs 4 clusters: 32+32+32+4
+	p.Submit(ctx, j)
+	wantIDs(t, ctx.ids(), 1)
+	if len(j.Components) != 4 {
+		t.Errorf("flexible split %v", j.Components)
+	}
+	sum := 0
+	for _, c := range j.Components {
+		sum += c
+	}
+	if sum != 100 {
+		t.Errorf("split %v sums to %d", j.Components, sum)
+	}
+}
+
+func TestGSFlexibleFitsWhereUnorderedCannot(t *testing.T) {
+	ctx := newMockCtx()
+	p := NewGS(cluster.WorstFit)
+	// Leave idle (12, 12, 12, 12): an unordered request (16, 16) split
+	// under limit 16 cannot fit, but a flexible request of 32 can.
+	for c := 0; c < 4; c++ {
+		ctx.m.Alloc([]int{20}, []int{c})
+	}
+	u := mj(1, 0, 16, 16)
+	p.Submit(ctx, u)
+	if len(ctx.ids()) != 0 {
+		t.Fatal("unordered (16,16) should not fit on (12,12,12,12)")
+	}
+	// Drain the queue for the flexible test: new policy instance.
+	p2 := NewGS(cluster.WorstFit)
+	f := flexJob(2, 32)
+	p2.Submit(ctx, f)
+	if len(ctx.ids()) != 1 || ctx.dispatched[0].ID != 2 {
+		t.Fatalf("flexible 32 should fit: dispatched %v", ctx.ids())
+	}
+}
+
+func TestGSTotalNeedsOneCluster(t *testing.T) {
+	ctx := newMockCtx()
+	p := NewGS(cluster.WorstFit)
+	// 33 processors exist in aggregate but no single cluster has them.
+	j := totalJob(1, 33)
+	p.Submit(ctx, j)
+	if len(ctx.ids()) != 0 {
+		t.Error("total request of 33 started on 32-processor clusters")
+	}
+	j2 := totalJob(2, 32)
+	p.Submit(ctx, j2)
+	// FCFS: job 2 is behind the unschedulable job 1 and must wait
+	// forever — exactly why total requests need a size cap.
+	if len(ctx.ids()) != 0 {
+		t.Error("FCFS let job 2 pass the blocked head")
+	}
+}

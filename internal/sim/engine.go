@@ -1,0 +1,226 @@
+// Package sim is a small discrete-event simulation kernel.
+//
+// It plays the role the commercial CSIM18 package plays in the paper: it
+// maintains a virtual clock and an ordered set of pending events, and runs
+// event handlers in nondecreasing time order. The kernel is deliberately
+// event-oriented rather than process-oriented: the multicluster model needs
+// only job arrivals and departures, and an explicit event loop keeps the
+// scheduler-policy code free of goroutines and therefore exactly
+// reproducible.
+//
+// Events scheduled for the same instant fire in the order they were
+// scheduled (FIFO tie-breaking on a monotone sequence number), which the
+// queueing policies rely on: a departure handler must release processors
+// before the scheduling pass triggered by the same instant's arrival runs.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback. The zero value is not useful; obtain
+// events from Engine.At or Engine.After.
+type Event struct {
+	time  float64
+	seq   uint64
+	fn    func()
+	index int // position in the heap, -1 when not queued
+}
+
+// Time returns the virtual time at which the event fires (or fired).
+func (ev *Event) Time() float64 { return ev.time }
+
+// Pending reports whether the event is still queued.
+func (ev *Event) Pending() bool { return ev.index >= 0 }
+
+// Engine is the simulation executive: a virtual clock plus a pending-event
+// queue. Engines are not safe for concurrent use; a simulation run is a
+// single-threaded computation.
+type Engine struct {
+	now     float64
+	heap    []*Event
+	seq     uint64
+	stopped bool
+	steps   uint64
+}
+
+// New returns an Engine with the clock at zero.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// ErrPastEvent is returned by At when the requested time precedes the clock.
+var ErrPastEvent = errors.New("sim: event scheduled in the past")
+
+// At schedules fn to run at virtual time t. Scheduling at the current time
+// is allowed; the event runs after all events already scheduled for that
+// time. It panics if t precedes the current time or is not a finite number.
+func (e *Engine) At(t float64, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: At(%g) precedes now=%g: %v", t, e.now, ErrPastEvent))
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		panic(fmt.Sprintf("sim: At(%g): time must be finite", t))
+	}
+	if fn == nil {
+		panic("sim: At with nil handler")
+	}
+	ev := &Event{time: t, seq: e.seq, fn: fn, index: -1}
+	e.seq++
+	e.push(ev)
+	return ev
+}
+
+// After schedules fn to run delay time units from now. Negative delays panic.
+func (e *Engine) After(delay float64, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: After(%g): negative delay", delay))
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// Cancel removes a pending event from the queue. Cancelling an event that
+// already fired or was already cancelled is a no-op and reports false.
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.index < 0 {
+		return false
+	}
+	e.remove(ev.index)
+	ev.index = -1
+	return true
+}
+
+// Step executes the single earliest pending event, advancing the clock to
+// its time. It reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	ev := e.pop()
+	e.now = ev.time
+	e.steps++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil executes events with time <= t, then advances the clock to t.
+// Events scheduled beyond t remain pending.
+func (e *Engine) RunUntil(t float64) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: RunUntil(%g) precedes now=%g", t, e.now))
+	}
+	e.stopped = false
+	for !e.stopped {
+		if len(e.heap) == 0 || e.heap[0].time > t {
+			break
+		}
+		e.Step()
+	}
+	if !e.stopped && e.now < t {
+		e.now = t
+	}
+}
+
+// Stop makes the innermost Run or RunUntil return after the current event
+// handler completes. It may only be called from inside an event handler.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// --- binary min-heap ordered by (time, seq) ---
+
+func (e *Engine) less(i, j int) bool {
+	a, b := e.heap[i], e.heap[j]
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) swap(i, j int) {
+	e.heap[i], e.heap[j] = e.heap[j], e.heap[i]
+	e.heap[i].index = i
+	e.heap[j].index = j
+}
+
+func (e *Engine) push(ev *Event) {
+	ev.index = len(e.heap)
+	e.heap = append(e.heap, ev)
+	e.up(ev.index)
+}
+
+func (e *Engine) pop() *Event {
+	ev := e.heap[0]
+	last := len(e.heap) - 1
+	e.swap(0, last)
+	e.heap[last] = nil
+	e.heap = e.heap[:last]
+	if last > 0 {
+		e.down(0)
+	}
+	ev.index = -1
+	return ev
+}
+
+func (e *Engine) remove(i int) {
+	last := len(e.heap) - 1
+	if i != last {
+		e.swap(i, last)
+	}
+	e.heap[last] = nil
+	e.heap = e.heap[:last]
+	if i < last {
+		if !e.down(i) {
+			e.up(i)
+		}
+	}
+}
+
+func (e *Engine) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.swap(i, parent)
+		i = parent
+	}
+}
+
+// down sifts element i toward the leaves; it reports whether i moved.
+func (e *Engine) down(i int) bool {
+	start := i
+	n := len(e.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		smallest := left
+		if right := left + 1; right < n && e.less(right, left) {
+			smallest = right
+		}
+		if !e.less(smallest, i) {
+			break
+		}
+		e.swap(i, smallest)
+		i = smallest
+	}
+	return i > start
+}

@@ -1,0 +1,38 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"coalloc/internal/sim"
+)
+
+// A minimal event-driven simulation: two events scheduled out of order run
+// in virtual-time order, and handlers can schedule further events.
+func Example() {
+	eng := sim.New()
+	eng.At(10, func() {
+		fmt.Printf("t=%g second\n", eng.Now())
+		eng.After(5, func() { fmt.Printf("t=%g third\n", eng.Now()) })
+	})
+	eng.At(1, func() { fmt.Printf("t=%g first\n", eng.Now()) })
+	eng.Run()
+	// Output:
+	// t=1 first
+	// t=10 second
+	// t=15 third
+}
+
+// RunUntil executes events up to a bound and leaves the rest pending.
+func ExampleEngine_RunUntil() {
+	eng := sim.New()
+	for _, t := range []float64{1, 2, 3} {
+		t := t
+		eng.At(t, func() { fmt.Println("event at", t) })
+	}
+	eng.RunUntil(2)
+	fmt.Println("pending:", eng.Pending())
+	// Output:
+	// event at 1
+	// event at 2
+	// pending: 1
+}

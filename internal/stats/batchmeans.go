@@ -1,0 +1,108 @@
+package stats
+
+import "math"
+
+// BatchMeans estimates a confidence interval for the steady-state mean of a
+// correlated output sequence (per-job response times) by the method of
+// nonoverlapping batch means: consecutive observations are grouped into
+// batches, whose means are approximately independent when batches are long
+// enough, and a Student-t interval is formed over the batch means.
+type BatchMeans struct {
+	batchSize int64
+	current   Welford
+	batches   Welford
+}
+
+// NewBatchMeans groups observations into batches of the given size.
+func NewBatchMeans(batchSize int64) *BatchMeans {
+	if batchSize <= 0 {
+		panic("stats: NewBatchMeans with non-positive batch size")
+	}
+	return &BatchMeans{batchSize: batchSize}
+}
+
+// Add incorporates one observation.
+func (b *BatchMeans) Add(x float64) {
+	b.current.Add(x)
+	if b.current.N() == b.batchSize {
+		b.batches.Add(b.current.Mean())
+		b.current.Reset()
+	}
+}
+
+// Batches returns the number of completed batches.
+func (b *BatchMeans) Batches() int64 { return b.batches.N() }
+
+// Mean returns the grand mean over completed batches.
+func (b *BatchMeans) Mean() float64 { return b.batches.Mean() }
+
+// HalfWidth returns the half-width of the confidence interval at the given
+// confidence level (e.g. 0.95). It returns +Inf with fewer than 2 batches.
+func (b *BatchMeans) HalfWidth(confidence float64) float64 {
+	k := b.batches.N()
+	if k < 2 {
+		return math.Inf(1)
+	}
+	t := TQuantile(k-1, confidence)
+	return t * b.batches.StdDev() / math.Sqrt(float64(k))
+}
+
+// RelativeHalfWidth returns HalfWidth divided by the absolute mean, the
+// usual stopping criterion for sequential simulation runs.
+func (b *BatchMeans) RelativeHalfWidth(confidence float64) float64 {
+	m := b.Mean()
+	if m == 0 {
+		return math.Inf(1)
+	}
+	return b.HalfWidth(confidence) / math.Abs(m)
+}
+
+// tTable holds two-sided Student-t critical values t_{df, (1+c)/2} for the
+// 95% confidence level, indexed by degrees of freedom; the last entry
+// approximates the normal limit.
+var tTable95 = map[int64]float64{
+	1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+	6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+	12: 2.179, 15: 2.131, 20: 2.086, 25: 2.060, 30: 2.042,
+	40: 2.021, 60: 2.000, 120: 1.980,
+}
+
+var tTable99 = map[int64]float64{
+	1: 63.657, 2: 9.925, 3: 5.841, 4: 4.604, 5: 4.032,
+	6: 3.707, 7: 3.499, 8: 3.355, 9: 3.250, 10: 3.169,
+	12: 3.055, 15: 2.947, 20: 2.845, 25: 2.787, 30: 2.750,
+	40: 2.704, 60: 2.660, 120: 2.617,
+}
+
+// TQuantile returns the two-sided Student-t critical value for the given
+// degrees of freedom at confidence level 0.95 or 0.99 (other levels fall
+// back to 0.95). Values between table entries use the next-lower df, which
+// is conservative (wider interval).
+func TQuantile(df int64, confidence float64) float64 {
+	table := tTable95
+	norm := 1.960
+	if confidence >= 0.985 {
+		table = tTable99
+		norm = 2.576
+	}
+	if df <= 0 {
+		return math.Inf(1)
+	}
+	if t, ok := table[df]; ok {
+		return t
+	}
+	// Largest tabulated df not exceeding the requested one.
+	var best int64 = -1
+	for k := range table {
+		if k <= df && k > best {
+			best = k
+		}
+	}
+	if best < 0 {
+		return table[1]
+	}
+	if df > 120 {
+		return norm
+	}
+	return table[best]
+}

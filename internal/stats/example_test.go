@@ -1,0 +1,41 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"coalloc/internal/stats"
+)
+
+// Welford accumulates mean and variance in one pass.
+func ExampleWelford() {
+	var w stats.Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	fmt.Printf("n=%d mean=%.2f sd=%.2f\n", w.N(), w.Mean(), w.StdDev())
+	// Output:
+	// n=8 mean=5.00 sd=2.14
+}
+
+// TimeWeighted integrates a piecewise-constant level — utilization, queue
+// length — over virtual time.
+func ExampleTimeWeighted() {
+	var tw stats.TimeWeighted
+	tw.StartAt(0, 0)
+	tw.Set(10, 64)  // 64 busy processors from t=10
+	tw.Set(30, 128) // all 128 busy from t=30
+	fmt.Printf("average busy over [0,40] = %.0f\n", tw.Average(40))
+	// Output:
+	// average busy over [0,40] = 64
+}
+
+// P2Quantile estimates percentiles of a stream in constant space.
+func ExampleP2Quantile() {
+	q := stats.NewP2Quantile(0.5)
+	for i := 1; i <= 1001; i++ {
+		q.Add(float64(i))
+	}
+	fmt.Printf("median of 1..1001 ~ %.0f\n", q.Value())
+	// Output:
+	// median of 1..1001 ~ 501
+}

@@ -1,0 +1,189 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram counts observations in equal-width bins over [lo, hi). Values
+// outside the range are tallied in underflow/overflow counters so no
+// observation is silently dropped. It backs the density plots of Figs. 1
+// and 2 of the paper.
+type Histogram struct {
+	lo, hi    float64
+	width     float64
+	counts    []int64
+	underflow int64
+	overflow  int64
+	total     int64
+}
+
+// NewHistogram creates a histogram with bins equal-width bins on [lo, hi).
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic("stats: NewHistogram with non-positive bin count")
+	}
+	if !(hi > lo) {
+		panic("stats: NewHistogram with empty range")
+	}
+	return &Histogram{
+		lo:     lo,
+		hi:     hi,
+		width:  (hi - lo) / float64(bins),
+		counts: make([]int64, bins),
+	}
+}
+
+// Add tallies one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.lo:
+		h.underflow++
+	case x >= h.hi:
+		h.overflow++
+	default:
+		i := int((x - h.lo) / h.width)
+		if i >= len(h.counts) { // guard against floating-point edge
+			i = len(h.counts) - 1
+		}
+		h.counts[i]++
+	}
+}
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.counts) }
+
+// Count returns the tally of bin i.
+func (h *Histogram) Count(i int) int64 { return h.counts[i] }
+
+// BinRange returns the half-open interval covered by bin i.
+func (h *Histogram) BinRange(i int) (lo, hi float64) {
+	lo = h.lo + float64(i)*h.width
+	return lo, lo + h.width
+}
+
+// Total returns the number of observations, including out-of-range ones.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Underflow and Overflow return the out-of-range tallies.
+func (h *Histogram) Underflow() int64 { return h.underflow }
+func (h *Histogram) Overflow() int64  { return h.overflow }
+
+// Fraction returns the share of all observations that fell in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[i]) / float64(h.total)
+}
+
+// Render draws the histogram as rows of '#' characters, one row per bin,
+// scaled so the fullest bin spans width characters.
+func (h *Histogram) Render(width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	var max int64
+	for _, c := range h.counts {
+		if c > max {
+			max = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.counts {
+		lo, hi := h.BinRange(i)
+		bar := 0
+		if max > 0 {
+			bar = int(math.Round(float64(c) / float64(max) * float64(width)))
+		}
+		fmt.Fprintf(&b, "[%8.1f,%8.1f) %8d %s\n", lo, hi, c, strings.Repeat("#", bar))
+	}
+	return b.String()
+}
+
+// IntCounter tallies integer-valued observations exactly, preserving every
+// distinct value — the right shape for job-size densities where the paper
+// distinguishes powers of two from all other sizes.
+type IntCounter struct {
+	counts map[int]int64
+	total  int64
+}
+
+// NewIntCounter returns an empty counter.
+func NewIntCounter() *IntCounter {
+	return &IntCounter{counts: make(map[int]int64)}
+}
+
+// Add tallies one observation of value v.
+func (c *IntCounter) Add(v int) {
+	c.counts[v]++
+	c.total++
+}
+
+// AddN tallies n observations of value v.
+func (c *IntCounter) AddN(v int, n int64) {
+	if n <= 0 {
+		return
+	}
+	c.counts[v] += n
+	c.total += n
+}
+
+// Count returns the tally for value v.
+func (c *IntCounter) Count(v int) int64 { return c.counts[v] }
+
+// Total returns the number of observations.
+func (c *IntCounter) Total() int64 { return c.total }
+
+// Fraction returns the share of observations equal to v.
+func (c *IntCounter) Fraction(v int) float64 {
+	if c.total == 0 {
+		return 0
+	}
+	return float64(c.counts[v]) / float64(c.total)
+}
+
+// Distinct returns the number of distinct values observed.
+func (c *IntCounter) Distinct() int { return len(c.counts) }
+
+// Values returns the observed values in increasing order.
+func (c *IntCounter) Values() []int {
+	vs := make([]int, 0, len(c.counts))
+	for v := range c.counts {
+		vs = append(vs, v)
+	}
+	sort.Ints(vs)
+	return vs
+}
+
+// Mean returns the sample mean of the observations.
+func (c *IntCounter) Mean() float64 {
+	if c.total == 0 {
+		return 0
+	}
+	var sum float64
+	for v, n := range c.counts {
+		sum += float64(v) * float64(n)
+	}
+	return sum / float64(c.total)
+}
+
+// CV returns the coefficient of variation of the observations.
+func (c *IntCounter) CV() float64 {
+	if c.total == 0 {
+		return 0
+	}
+	mean := c.Mean()
+	if mean == 0 {
+		return 0
+	}
+	var ss float64
+	for v, n := range c.counts {
+		d := float64(v) - mean
+		ss += d * d * float64(n)
+	}
+	return math.Sqrt(ss/float64(c.total)) / mean
+}

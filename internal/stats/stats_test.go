@@ -1,0 +1,347 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Errorf("N = %d", w.N())
+	}
+	if !almost(w.Mean(), 5, 1e-12) {
+		t.Errorf("mean = %g, want 5", w.Mean())
+	}
+	// Population variance is 4, sample variance 32/7.
+	if !almost(w.Variance(), 32.0/7, 1e-12) {
+		t.Errorf("variance = %g, want %g", w.Variance(), 32.0/7)
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Errorf("min/max = %g/%g", w.Min(), w.Max())
+	}
+	if !almost(w.Sum(), 40, 1e-12) {
+		t.Errorf("sum = %g", w.Sum())
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.StdDev() != 0 || w.CV() != 0 {
+		t.Error("empty accumulator should report zeros")
+	}
+}
+
+func TestWelfordSingle(t *testing.T) {
+	var w Welford
+	w.Add(3)
+	if w.Variance() != 0 {
+		t.Errorf("variance of one observation = %g", w.Variance())
+	}
+}
+
+// TestWelfordMatchesNaive is a property test against the two-pass formulas.
+func TestWelfordMatchesNaive(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(100)
+		xs := make([]float64, n)
+		var w Welford
+		for i := range xs {
+			xs[i] = r.NormFloat64()*10 + 5
+			w.Add(xs[i])
+		}
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		mean := sum / float64(n)
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		naiveVar := ss / float64(n-1)
+		return almost(w.Mean(), mean, 1e-9) && almost(w.Variance(), naiveVar, 1e-9)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWelfordMerge(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var whole, a, b Welford
+		n := 1 + r.Intn(50)
+		m := 1 + r.Intn(50)
+		for i := 0; i < n; i++ {
+			x := r.Float64() * 100
+			whole.Add(x)
+			a.Add(x)
+		}
+		for i := 0; i < m; i++ {
+			x := r.Float64() * 100
+			whole.Add(x)
+			b.Add(x)
+		}
+		a.Merge(&b)
+		return a.N() == whole.N() &&
+			almost(a.Mean(), whole.Mean(), 1e-9) &&
+			almost(a.Variance(), whole.Variance(), 1e-9) &&
+			a.Min() == whole.Min() && a.Max() == whole.Max()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWelfordMergeEmpty(t *testing.T) {
+	var a, b Welford
+	a.Add(1)
+	a.Add(3)
+	before := a
+	a.Merge(&b)
+	if a != before {
+		t.Error("merging an empty accumulator changed state")
+	}
+	b.Merge(&a)
+	if b.Mean() != 2 {
+		t.Errorf("merge into empty: mean %g", b.Mean())
+	}
+}
+
+func TestWelfordAddN(t *testing.T) {
+	var a, b Welford
+	a.AddN(5, 4)
+	for i := 0; i < 4; i++ {
+		b.Add(5)
+	}
+	if a.Mean() != b.Mean() || a.N() != b.N() || a.Variance() != b.Variance() {
+		t.Error("AddN differs from repeated Add")
+	}
+}
+
+func TestTimeWeightedUtilization(t *testing.T) {
+	var tw TimeWeighted
+	tw.StartAt(0, 0)
+	tw.Set(10, 4) // level 0 for [0,10)
+	tw.Set(20, 2) // level 4 for [10,20)
+	tw.Set(40, 0) // level 2 for [20,40)
+	// integral = 0*10 + 4*10 + 2*20 = 80; average over [0,50] with level 0 after 40.
+	if got := tw.Integral(50); got != 80 {
+		t.Errorf("integral = %g, want 80", got)
+	}
+	if got := tw.Average(50); !almost(got, 1.6, 1e-12) {
+		t.Errorf("average = %g, want 1.6", got)
+	}
+	if tw.MaxLevel() != 4 {
+		t.Errorf("max level = %g", tw.MaxLevel())
+	}
+}
+
+func TestTimeWeightedAdd(t *testing.T) {
+	var tw TimeWeighted
+	tw.StartAt(0, 1)
+	tw.Add(5, 2)
+	tw.Add(10, -3)
+	if tw.Level() != 0 {
+		t.Errorf("level = %g, want 0", tw.Level())
+	}
+	// 1*5 + 3*5 = 20
+	if got := tw.Integral(10); got != 20 {
+		t.Errorf("integral = %g, want 20", got)
+	}
+}
+
+func TestTimeWeightedRestart(t *testing.T) {
+	var tw TimeWeighted
+	tw.StartAt(0, 3)
+	tw.Set(10, 5)
+	tw.StartAt(10, 5) // warmup reset
+	tw.Set(20, 0)
+	if got := tw.Average(20); !almost(got, 5, 1e-12) {
+		t.Errorf("average after restart = %g, want 5", got)
+	}
+}
+
+func TestTimeWeightedDecreasingTimePanics(t *testing.T) {
+	var tw TimeWeighted
+	tw.StartAt(10, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("decreasing time did not panic")
+		}
+	}()
+	tw.Set(5, 1)
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1.9, 2, 5.5, 9.99, 10, -1, 100} {
+		h.Add(x)
+	}
+	if h.Total() != 8 {
+		t.Errorf("total = %d", h.Total())
+	}
+	if h.Underflow() != 1 || h.Overflow() != 2 {
+		t.Errorf("under/over = %d/%d, want 1/2", h.Underflow(), h.Overflow())
+	}
+	if h.Count(0) != 2 { // 0 and 1.9
+		t.Errorf("bin 0 = %d, want 2", h.Count(0))
+	}
+	if h.Count(1) != 1 { // 2
+		t.Errorf("bin 1 = %d, want 1", h.Count(1))
+	}
+	if h.Count(4) != 1 { // 9.99
+		t.Errorf("bin 4 = %d, want 1", h.Count(4))
+	}
+	lo, hi := h.BinRange(2)
+	if lo != 4 || hi != 6 {
+		t.Errorf("bin 2 range [%g,%g), want [4,6)", lo, hi)
+	}
+	if !almost(h.Fraction(0), 0.25, 1e-12) {
+		t.Errorf("fraction = %g", h.Fraction(0))
+	}
+}
+
+func TestHistogramConservation(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := NewHistogram(-5, 5, 1+r.Intn(20))
+		n := 1 + r.Intn(500)
+		for i := 0; i < n; i++ {
+			h.Add(r.NormFloat64() * 4)
+		}
+		var inBins int64
+		for i := 0; i < h.Bins(); i++ {
+			inBins += h.Count(i)
+		}
+		return inBins+h.Underflow()+h.Overflow() == int64(n) && h.Total() == int64(n)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(0, 2, 2)
+	h.Add(0.5)
+	h.Add(0.6)
+	h.Add(1.5)
+	out := h.Render(10)
+	if out == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestIntCounter(t *testing.T) {
+	c := NewIntCounter()
+	c.Add(1)
+	c.Add(1)
+	c.AddN(4, 2)
+	if c.Total() != 4 || c.Distinct() != 2 {
+		t.Errorf("total %d distinct %d", c.Total(), c.Distinct())
+	}
+	if c.Count(1) != 2 || c.Count(4) != 2 || c.Count(9) != 0 {
+		t.Error("bad counts")
+	}
+	if !almost(c.Mean(), 2.5, 1e-12) {
+		t.Errorf("mean = %g", c.Mean())
+	}
+	// variance = ((1-2.5)^2*2 + (4-2.5)^2*2)/4 = 2.25; CV = 1.5/2.5
+	if !almost(c.CV(), 0.6, 1e-12) {
+		t.Errorf("CV = %g", c.CV())
+	}
+	vs := c.Values()
+	if len(vs) != 2 || vs[0] != 1 || vs[1] != 4 {
+		t.Errorf("values = %v", vs)
+	}
+	if !almost(c.Fraction(1), 0.5, 1e-12) {
+		t.Errorf("fraction = %g", c.Fraction(1))
+	}
+}
+
+func TestIntCounterAddNNonPositive(t *testing.T) {
+	c := NewIntCounter()
+	c.AddN(3, 0)
+	c.AddN(3, -5)
+	if c.Total() != 0 {
+		t.Errorf("AddN with non-positive count changed the counter: %d", c.Total())
+	}
+}
+
+func TestBatchMeansIID(t *testing.T) {
+	// For i.i.d. observations the batch-means interval should cover the
+	// true mean; with a fixed seed this is deterministic.
+	r := rand.New(rand.NewSource(5))
+	bm := NewBatchMeans(100)
+	const trueMean = 7.0
+	for i := 0; i < 10000; i++ {
+		bm.Add(trueMean + r.NormFloat64())
+	}
+	if bm.Batches() != 100 {
+		t.Errorf("batches = %d, want 100", bm.Batches())
+	}
+	hw := bm.HalfWidth(0.95)
+	if math.Abs(bm.Mean()-trueMean) > hw {
+		t.Errorf("interval %.3f +- %.3f misses true mean %g", bm.Mean(), hw, trueMean)
+	}
+	if hw <= 0 || hw > 0.1 {
+		t.Errorf("implausible half-width %g", hw)
+	}
+	rel := bm.RelativeHalfWidth(0.95)
+	if !almost(rel, hw/bm.Mean(), 1e-12) {
+		t.Errorf("relative half-width %g", rel)
+	}
+}
+
+func TestBatchMeansFewBatches(t *testing.T) {
+	bm := NewBatchMeans(10)
+	for i := 0; i < 15; i++ {
+		bm.Add(1)
+	}
+	if bm.Batches() != 1 {
+		t.Errorf("batches = %d", bm.Batches())
+	}
+	if !math.IsInf(bm.HalfWidth(0.95), 1) {
+		t.Error("half-width with one batch should be +Inf")
+	}
+}
+
+func TestTQuantile(t *testing.T) {
+	if got := TQuantile(1, 0.95); got != 12.706 {
+		t.Errorf("t(1, .95) = %g", got)
+	}
+	if got := TQuantile(10, 0.95); got != 2.228 {
+		t.Errorf("t(10, .95) = %g", got)
+	}
+	// Between entries: conservative (next lower df).
+	if got := TQuantile(13, 0.95); got != 2.179 {
+		t.Errorf("t(13, .95) = %g, want the df=12 value", got)
+	}
+	if got := TQuantile(1000, 0.95); got != 1.960 {
+		t.Errorf("t(1000, .95) = %g, want normal limit", got)
+	}
+	if got := TQuantile(5, 0.99); got != 4.032 {
+		t.Errorf("t(5, .99) = %g", got)
+	}
+	if got := TQuantile(0, 0.95); !math.IsInf(got, 1) {
+		t.Errorf("t(0) = %g, want +Inf", got)
+	}
+	// Monotone decreasing in df.
+	prev := math.Inf(1)
+	for df := int64(1); df <= 200; df++ {
+		v := TQuantile(df, 0.95)
+		if v > prev {
+			t.Fatalf("TQuantile not nonincreasing at df=%d: %g > %g", df, v, prev)
+		}
+		prev = v
+	}
+}

@@ -1,0 +1,170 @@
+// Package stats provides the estimators used to turn raw simulation output
+// into the numbers the paper reports: sample means and variances (Welford),
+// time-weighted averages (utilization), fixed- and variable-width
+// histograms (the density plots of Figs. 1 and 2), batch-means confidence
+// intervals for steady-state response times, and percentile summaries.
+package stats
+
+import "math"
+
+// Welford accumulates a sample mean and variance in one pass using
+// Welford's numerically stable recurrence. The zero value is ready to use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+	sum  float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	w.sum += x
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// AddN incorporates the same observation count times.
+func (w *Welford) AddN(x float64, count int64) {
+	for i := int64(0); i < count; i++ {
+		w.Add(x)
+	}
+}
+
+// Merge folds the other accumulator into w (Chan et al. parallel update).
+func (w *Welford) Merge(o *Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = *o
+		return
+	}
+	n := w.n + o.n
+	delta := o.mean - w.mean
+	w.mean += delta * float64(o.n) / float64(n)
+	w.m2 += o.m2 + delta*delta*float64(w.n)*float64(o.n)/float64(n)
+	w.sum += o.sum
+	if o.min < w.min {
+		w.min = o.min
+	}
+	if o.max > w.max {
+		w.max = o.max
+	}
+	w.n = n
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int64 { return w.n }
+
+// Sum returns the sum of the observations.
+func (w *Welford) Sum() float64 { return w.sum }
+
+// Mean returns the sample mean, or 0 for an empty accumulator.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Min returns the smallest observation, or 0 when empty.
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation, or 0 when empty.
+func (w *Welford) Max() float64 { return w.max }
+
+// Variance returns the unbiased sample variance (n-1 denominator).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// CV returns the coefficient of variation (stddev / mean), or 0 when the
+// mean is 0.
+func (w *Welford) CV() float64 {
+	if w.mean == 0 {
+		return 0
+	}
+	return w.StdDev() / math.Abs(w.mean)
+}
+
+// Reset returns the accumulator to its zero state.
+func (w *Welford) Reset() { *w = Welford{} }
+
+// TimeWeighted integrates a piecewise-constant function of virtual time,
+// such as the number of busy processors. Average() over an interval is the
+// time-average value — exactly the paper's utilization when the level is
+// busy processors divided by capacity.
+type TimeWeighted struct {
+	started  bool
+	start    float64
+	last     float64
+	level    float64
+	integral float64
+	maxLevel float64
+}
+
+// StartAt begins integration at time t with level 0, discarding any
+// previous state. Use it to reset at the end of a warmup period.
+func (tw *TimeWeighted) StartAt(t, level float64) {
+	*tw = TimeWeighted{started: true, start: t, last: t, level: level, maxLevel: level}
+}
+
+// Set records that the level changed to v at time t. Times must be
+// nondecreasing.
+func (tw *TimeWeighted) Set(t, v float64) {
+	if !tw.started {
+		tw.StartAt(t, v)
+		return
+	}
+	if t < tw.last {
+		panic("stats: TimeWeighted.Set with decreasing time")
+	}
+	tw.integral += tw.level * (t - tw.last)
+	tw.last = t
+	tw.level = v
+	if v > tw.maxLevel {
+		tw.maxLevel = v
+	}
+}
+
+// Add records a level change of +dv at time t.
+func (tw *TimeWeighted) Add(t, dv float64) { tw.Set(t, tw.level+dv) }
+
+// Level returns the current level.
+func (tw *TimeWeighted) Level() float64 { return tw.level }
+
+// MaxLevel returns the largest level seen since StartAt.
+func (tw *TimeWeighted) MaxLevel() float64 { return tw.maxLevel }
+
+// Integral returns the integral of the level from the start time to t.
+func (tw *TimeWeighted) Integral(t float64) float64 {
+	if !tw.started || t < tw.last {
+		return tw.integral
+	}
+	return tw.integral + tw.level*(t-tw.last)
+}
+
+// Average returns the time-average level over [start, t], or 0 when the
+// interval is empty.
+func (tw *TimeWeighted) Average(t float64) float64 {
+	d := t - tw.start
+	if d <= 0 {
+		return 0
+	}
+	return tw.Integral(t) / d
+}

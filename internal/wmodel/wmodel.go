@@ -1,0 +1,263 @@
+// Package wmodel implements a parametric rigid-job workload model in the
+// style of Lublin and Feitelson ("The workload on parallel supercomputers:
+// modeling the characteristics of rigid jobs", JPDC 2003) — the standard
+// alternative to trace-driven workloads in this literature (the paper's
+// reference [10], Chiang & Vernon, characterizes a comparable production
+// workload). It generates job sizes, runtimes and arrival times from
+// calibratable distributions:
+//
+//   - sizes: a serial fraction, plus parallel sizes whose log2 follows a
+//     two-stage uniform distribution, rounded to integers with a
+//     configurable preference for powers of two;
+//   - runtimes: a hyper-gamma mixture whose mixing probability depends
+//     linearly on the job's log2 size (bigger jobs run longer);
+//   - arrivals: exponential gaps modulated by a daily cycle.
+//
+// The default parameters are calibrated to produce a DAS-like mix (mean
+// size ~24 on a 128-processor machine, strongly right-skewed runtimes);
+// they are NOT the exact published Lublin-Feitelson constants — the model
+// here is a substrate for sensitivity studies, not a claim about any
+// specific machine. All outputs are deterministic in the seed.
+package wmodel
+
+import (
+	"fmt"
+	"math"
+
+	"coalloc/internal/dastrace"
+	"coalloc/internal/dist"
+	"coalloc/internal/rng"
+)
+
+// Config parameterizes the model.
+type Config struct {
+	// MaxProcs is the machine size; sizes are clamped to [1, MaxProcs].
+	MaxProcs int
+	// SerialProb is the fraction of single-processor jobs.
+	SerialProb float64
+	// Log2Low, Log2Med, Log2High and Log2Prob define the two-stage
+	// uniform distribution of log2(size) for parallel jobs: uniform on
+	// [Log2Low, Log2Med] with probability Log2Prob, else on
+	// [Log2Med, Log2High].
+	Log2Low, Log2Med, Log2High float64
+	Log2Prob                   float64
+	// PowerOfTwoProb is the probability that a parallel size is rounded
+	// to the nearest power of two rather than the nearest integer.
+	PowerOfTwoProb float64
+	// Runtime hyper-gamma mixture: component 1 (short jobs) and
+	// component 2 (long jobs), mixed with probability p(size) =
+	// clamp(MixSlope*log2(size) + MixIntercept) of drawing component 1.
+	Shape1, Rate1, Shape2, Rate2 float64
+	MixSlope, MixIntercept       float64
+	// MaxRuntime clamps runtimes (0 = no clamp).
+	MaxRuntime float64
+	// ArrivalRate is the mean arrival rate in jobs per second, before
+	// the daily cycle is applied.
+	ArrivalRate float64
+	// DailyCycle gives 24 relative hourly arrival intensities; nil
+	// disables the cycle. The intensities are normalized to mean 1.
+	DailyCycle []float64
+}
+
+// Default returns the DAS-like calibration for a 128-processor machine.
+func Default() Config {
+	return Config{
+		MaxProcs:       128,
+		SerialProb:     0.09,
+		Log2Low:        0.5,
+		Log2Med:        4.5,
+		Log2High:       7.0,
+		Log2Prob:       0.70,
+		PowerOfTwoProb: 0.75,
+		Shape1:         0.9,
+		Rate1:          0.02, // mean 45 s: the short-job mass
+		Shape2:         1.2,
+		Rate2:          0.002, // mean 600 s: the tail
+		MixSlope:       -0.05,
+		MixIntercept:   0.85,
+		MaxRuntime:     43200, // 12 h
+		ArrivalRate:    39356.0 / (90 * 24 * 3600),
+		DailyCycle:     defaultDailyCycle(),
+	}
+}
+
+// defaultDailyCycle peaks during working hours, as production logs do.
+func defaultDailyCycle() []float64 {
+	cycle := make([]float64, 24)
+	for h := range cycle {
+		switch {
+		case h >= 9 && h < 18:
+			cycle[h] = 2.2
+		case h >= 7 && h < 9, h >= 18 && h < 22:
+			cycle[h] = 1.0
+		default:
+			cycle[h] = 0.35
+		}
+	}
+	return cycle
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	switch {
+	case c.MaxProcs < 1:
+		return fmt.Errorf("wmodel: MaxProcs %d", c.MaxProcs)
+	case c.SerialProb < 0 || c.SerialProb > 1:
+		return fmt.Errorf("wmodel: SerialProb %g", c.SerialProb)
+	case !(c.Log2Low <= c.Log2Med && c.Log2Med <= c.Log2High):
+		return fmt.Errorf("wmodel: log2 stages %g <= %g <= %g violated", c.Log2Low, c.Log2Med, c.Log2High)
+	case c.Log2Prob < 0 || c.Log2Prob > 1:
+		return fmt.Errorf("wmodel: Log2Prob %g", c.Log2Prob)
+	case c.PowerOfTwoProb < 0 || c.PowerOfTwoProb > 1:
+		return fmt.Errorf("wmodel: PowerOfTwoProb %g", c.PowerOfTwoProb)
+	case c.Shape1 <= 0 || c.Rate1 <= 0 || c.Shape2 <= 0 || c.Rate2 <= 0:
+		return fmt.Errorf("wmodel: hyper-gamma parameters must be positive")
+	case c.ArrivalRate <= 0:
+		return fmt.Errorf("wmodel: ArrivalRate %g", c.ArrivalRate)
+	case c.DailyCycle != nil && len(c.DailyCycle) != 24:
+		return fmt.Errorf("wmodel: DailyCycle has %d entries, want 24", len(c.DailyCycle))
+	}
+	return nil
+}
+
+// Model samples jobs. Obtain one from New.
+type Model struct {
+	cfg   Config
+	g1    dist.Gamma
+	g2    dist.Gamma
+	cycle []float64 // normalized hourly intensities
+}
+
+// New validates the configuration and returns a model.
+func New(cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Model{
+		cfg: cfg,
+		g1:  dist.NewGamma(cfg.Shape1, cfg.Rate1),
+		g2:  dist.NewGamma(cfg.Shape2, cfg.Rate2),
+	}
+	if cfg.DailyCycle != nil {
+		var sum float64
+		for _, v := range cfg.DailyCycle {
+			if v < 0 {
+				return nil, fmt.Errorf("wmodel: negative cycle intensity %g", v)
+			}
+			sum += v
+		}
+		if sum == 0 {
+			return nil, fmt.Errorf("wmodel: daily cycle is identically zero")
+		}
+		m.cycle = make([]float64, 24)
+		for h, v := range cfg.DailyCycle {
+			m.cycle[h] = v * 24 / sum
+		}
+	}
+	return m, nil
+}
+
+// SampleSize draws a job size in [1, MaxProcs].
+func (m *Model) SampleSize(r *rng.Stream) int {
+	if r.Float64() < m.cfg.SerialProb {
+		return 1
+	}
+	var l2 float64
+	if r.Float64() < m.cfg.Log2Prob {
+		l2 = m.cfg.Log2Low + (m.cfg.Log2Med-m.cfg.Log2Low)*r.Float64()
+	} else {
+		l2 = m.cfg.Log2Med + (m.cfg.Log2High-m.cfg.Log2Med)*r.Float64()
+	}
+	var size int
+	if r.Float64() < m.cfg.PowerOfTwoProb {
+		size = 1 << uint(math.Round(l2))
+	} else {
+		size = int(math.Round(math.Exp2(l2)))
+	}
+	if size < 1 {
+		size = 1
+	}
+	if size > m.cfg.MaxProcs {
+		size = m.cfg.MaxProcs
+	}
+	return size
+}
+
+// SampleRuntime draws a runtime in seconds for a job of the given size.
+func (m *Model) SampleRuntime(r *rng.Stream, size int) float64 {
+	p := m.cfg.MixSlope*math.Log2(float64(size)+1) + m.cfg.MixIntercept
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	var t float64
+	if r.Float64() < p {
+		t = m.g1.Sample(r)
+	} else {
+		t = m.g2.Sample(r)
+	}
+	if t < 1 {
+		t = 1
+	}
+	if m.cfg.MaxRuntime > 0 && t > m.cfg.MaxRuntime {
+		t = m.cfg.MaxRuntime
+	}
+	return t
+}
+
+// NextGap draws the next interarrival gap given the current time of day,
+// thinning the base exponential process by the hourly intensity.
+func (m *Model) NextGap(r *rng.Stream, now float64) float64 {
+	if m.cycle == nil {
+		return r.Exp(m.cfg.ArrivalRate)
+	}
+	// Thinning: propose gaps from the peak-rate exponential process and
+	// accept with probability intensity(hour)/peak.
+	peak := 0.0
+	for _, v := range m.cycle {
+		if v > peak {
+			peak = v
+		}
+	}
+	t := now
+	for {
+		t += r.Exp(m.cfg.ArrivalRate * peak)
+		hour := int(math.Mod(t, 86400) / 3600)
+		if hour < 0 {
+			hour += 24
+		}
+		if hour > 23 {
+			hour = 23
+		}
+		if r.Float64()*peak < m.cycle[hour] {
+			return t - now
+		}
+	}
+}
+
+// Generate produces a job log of n records, compatible with the rest of
+// the toolchain (SWF output, replay, distribution derivation).
+func (m *Model) Generate(n int, seed uint64) []dastrace.Record {
+	if n <= 0 {
+		panic(fmt.Sprintf("wmodel: Generate(%d)", n))
+	}
+	src := rng.NewSource(seed)
+	arr := src.Stream("wmodel/arrivals")
+	sizes := src.Stream("wmodel/sizes")
+	times := src.Stream("wmodel/runtimes")
+	recs := make([]dastrace.Record, n)
+	var now float64
+	for i := range recs {
+		now += m.NextGap(arr, now)
+		size := m.SampleSize(sizes)
+		recs[i] = dastrace.Record{
+			ID:      i + 1,
+			Submit:  now,
+			Size:    size,
+			Service: m.SampleRuntime(times, size),
+		}
+	}
+	return recs
+}

@@ -1,0 +1,217 @@
+package wmodel
+
+import (
+	"math"
+	"testing"
+
+	"coalloc/internal/rng"
+	"coalloc/internal/stats"
+)
+
+func defaultModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := New(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestValidate(t *testing.T) {
+	def := Default()
+	if err := def.Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.MaxProcs = 0 },
+		func(c *Config) { c.SerialProb = 1.5 },
+		func(c *Config) { c.Log2Med = c.Log2High + 1 },
+		func(c *Config) { c.Log2Prob = -0.1 },
+		func(c *Config) { c.PowerOfTwoProb = 2 },
+		func(c *Config) { c.Shape1 = 0 },
+		func(c *Config) { c.ArrivalRate = 0 },
+		func(c *Config) { c.DailyCycle = []float64{1, 2} },
+	}
+	for i, f := range bad {
+		c := Default()
+		f(&c)
+		if _, err := New(c); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	c := Default()
+	c.DailyCycle = make([]float64, 24) // all zero
+	if _, err := New(c); err == nil {
+		t.Error("zero cycle accepted")
+	}
+	c = Default()
+	c.DailyCycle[3] = -1
+	if _, err := New(c); err == nil {
+		t.Error("negative intensity accepted")
+	}
+}
+
+func TestSizesInRangeAndSkewed(t *testing.T) {
+	m := defaultModel(t)
+	r := rng.NewStream(1)
+	c := stats.NewIntCounter()
+	for i := 0; i < 50000; i++ {
+		s := m.SampleSize(r)
+		if s < 1 || s > 128 {
+			t.Fatalf("size %d out of range", s)
+		}
+		c.Add(s)
+	}
+	if mean := c.Mean(); mean < 5 || mean > 50 {
+		t.Errorf("mean size %.1f implausible", mean)
+	}
+	// Powers of two dominate.
+	var powMass float64
+	for p := 1; p <= 128; p *= 2 {
+		powMass += c.Fraction(p)
+	}
+	if powMass < 0.5 {
+		t.Errorf("power-of-two mass %.2f, want the model's strong preference", powMass)
+	}
+	// Serial fraction near the configured value.
+	if f := c.Fraction(1); math.Abs(f-Default().SerialProb) > 0.1 {
+		t.Errorf("serial fraction %.3f", f)
+	}
+}
+
+func TestRuntimesPositiveBoundedSkewed(t *testing.T) {
+	m := defaultModel(t)
+	r := rng.NewStream(2)
+	var w stats.Welford
+	for i := 0; i < 50000; i++ {
+		rt := m.SampleRuntime(r, 1+i%128)
+		if rt < 1 || rt > Default().MaxRuntime {
+			t.Fatalf("runtime %g out of [1, %g]", rt, Default().MaxRuntime)
+		}
+		w.Add(rt)
+	}
+	if w.Mean() < 10 || w.Mean() > 2000 {
+		t.Errorf("mean runtime %.1f implausible", w.Mean())
+	}
+	if w.CV() < 1 {
+		t.Errorf("runtime CV %.2f; production runtimes are highly variable", w.CV())
+	}
+}
+
+func TestBiggerJobsRunLonger(t *testing.T) {
+	m := defaultModel(t)
+	r := rng.NewStream(3)
+	var small, large stats.Welford
+	for i := 0; i < 40000; i++ {
+		small.Add(m.SampleRuntime(r, 2))
+		large.Add(m.SampleRuntime(r, 128))
+	}
+	if large.Mean() <= small.Mean() {
+		t.Errorf("mean runtime of size-128 jobs %.1f not above size-2 jobs %.1f",
+			large.Mean(), small.Mean())
+	}
+}
+
+func TestDailyCycleShapesArrivals(t *testing.T) {
+	m := defaultModel(t)
+	r := rng.NewStream(4)
+	counts := make([]int, 24)
+	var now float64
+	for i := 0; i < 200000; i++ {
+		now += m.NextGap(r, now)
+		hour := int(math.Mod(now, 86400) / 3600)
+		counts[hour]++
+	}
+	day := 0
+	night := 0
+	for h := 9; h < 18; h++ {
+		day += counts[h]
+	}
+	for h := 0; h < 6; h++ {
+		night += counts[h]
+	}
+	// 9 working hours at intensity 2.2 vs 6 night hours at 0.35:
+	// the per-hour ratio should be large.
+	perDay := float64(day) / 9
+	perNight := float64(night) / 6
+	if perDay < 3*perNight {
+		t.Errorf("working-hour rate %.0f not well above night rate %.0f", perDay, perNight)
+	}
+}
+
+func TestNoCycleIsPlainPoisson(t *testing.T) {
+	c := Default()
+	c.DailyCycle = nil
+	m, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.NewStream(5)
+	var w stats.Welford
+	for i := 0; i < 100000; i++ {
+		w.Add(m.NextGap(r, 0))
+	}
+	want := 1 / c.ArrivalRate
+	if math.Abs(w.Mean()-want)/want > 0.02 {
+		t.Errorf("mean gap %.1f, want %.1f", w.Mean(), want)
+	}
+	if math.Abs(w.CV()-1) > 0.03 {
+		t.Errorf("gap CV %.3f, want 1 (exponential)", w.CV())
+	}
+}
+
+func TestThinningPreservesMeanRate(t *testing.T) {
+	m := defaultModel(t)
+	r := rng.NewStream(6)
+	var now float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		now += m.NextGap(r, now)
+	}
+	gotRate := n / now
+	want := Default().ArrivalRate
+	if math.Abs(gotRate-want)/want > 0.05 {
+		t.Errorf("overall rate %.6f, want %.6f", gotRate, want)
+	}
+}
+
+func TestGenerateRecords(t *testing.T) {
+	m := defaultModel(t)
+	recs := m.Generate(5000, 7)
+	if len(recs) != 5000 {
+		t.Fatalf("%d records", len(recs))
+	}
+	prev := 0.0
+	for i, r := range recs {
+		if r.ID != i+1 || r.Submit < prev || r.Size < 1 || r.Service <= 0 {
+			t.Fatalf("bad record %+v", r)
+		}
+		prev = r.Submit
+	}
+	// Determinism.
+	again := m.Generate(5000, 7)
+	for i := range recs {
+		if recs[i] != again[i] {
+			t.Fatal("Generate is not deterministic in the seed")
+		}
+	}
+	other := m.Generate(5000, 8)
+	same := 0
+	for i := range recs {
+		if recs[i].Size == other[i].Size {
+			same++
+		}
+	}
+	if same == len(recs) {
+		t.Error("different seeds gave identical sizes")
+	}
+}
+
+func TestGeneratePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Generate(0) did not panic")
+		}
+	}()
+	defaultModel(t).Generate(0, 1)
+}

@@ -1,0 +1,38 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"coalloc/internal/workload"
+)
+
+// Split divides a total job size into components of at most the given
+// limit over at most the given number of clusters, as equal as possible —
+// the paper's Section 2.4 rule. A size-64 job is the paper's worked
+// example.
+func ExampleSplit() {
+	for _, limit := range []int{16, 24, 32} {
+		fmt.Printf("limit %2d: %v\n", limit, workload.Split(64, limit, 4))
+	}
+	// Output:
+	// limit 16: [16 16 16 16]
+	// limit 24: [22 21 21]
+	// limit 32: [32 32]
+}
+
+// The cluster count caps the number of components: a 128-processor job
+// cannot split into more than four parts on a four-cluster system, so its
+// components exceed a limit of 16.
+func ExampleSplit_clusterCap() {
+	fmt.Println(workload.Split(128, 16, 4))
+	// Output:
+	// [32 32 32 32]
+}
+
+// NumComponents predicts how a workload divides into single- and
+// multi-component jobs without building the split.
+func ExampleNumComponents() {
+	fmt.Println(workload.NumComponents(16, 16, 4), workload.NumComponents(17, 16, 4))
+	// Output:
+	// 1 2
+}

@@ -1,0 +1,37 @@
+package workload
+
+import "testing"
+
+// FuzzSplit checks the splitting invariants over the whole input domain.
+func FuzzSplit(f *testing.F) {
+	f.Add(64, 16, 4)
+	f.Add(1, 1, 1)
+	f.Add(128, 32, 4)
+	f.Add(97, 24, 5)
+	f.Fuzz(func(t *testing.T, total, limit, clusters int) {
+		if total <= 0 || limit <= 0 || clusters <= 0 ||
+			total > 1<<16 || clusters > 1024 {
+			t.Skip()
+		}
+		comps := Split(total, limit, clusters)
+		if len(comps) < 1 || len(comps) > clusters {
+			t.Fatalf("Split(%d,%d,%d) = %v: bad count", total, limit, clusters, comps)
+		}
+		sum := 0
+		for i, c := range comps {
+			if c <= 0 {
+				t.Fatalf("Split(%d,%d,%d) = %v: non-positive component", total, limit, clusters, comps)
+			}
+			if i > 0 && comps[i] > comps[i-1] {
+				t.Fatalf("Split(%d,%d,%d) = %v: not nonincreasing", total, limit, clusters, comps)
+			}
+			sum += c
+		}
+		if sum != total {
+			t.Fatalf("Split(%d,%d,%d) = %v: sums to %d", total, limit, clusters, comps, sum)
+		}
+		if comps[0]-comps[len(comps)-1] > 1 {
+			t.Fatalf("Split(%d,%d,%d) = %v: not as equal as possible", total, limit, clusters, comps)
+		}
+	})
+}
