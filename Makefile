@@ -1,0 +1,30 @@
+# Tier-1 verification and benchmarking entry points.
+
+GO ?= go
+
+# The hot-path benchmarks recorded in BENCH_1.json. Table/Fig benchmarks
+# ride along so end-to-end regeneration time is tracked too.
+BENCHES = BenchmarkEngineEventRate|BenchmarkPolicyThroughput|BenchmarkBackfillPolicies|BenchmarkTable1|BenchmarkFig5
+
+.PHONY: verify test bench bench-baseline
+
+# verify is the tier-1 gate: vet, build, the full test suite, and the
+# test suite again under the race detector.
+verify:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+	$(GO) test -race ./...
+
+test:
+	$(GO) test ./...
+
+# bench re-measures the hot paths and records them under the "after" key
+# of BENCH_1.json (preserving the recorded baseline).
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem . | $(GO) run ./scripts/benchjson -key after -o BENCH_1.json
+
+# bench-baseline records the same measurements under "baseline"; run it
+# before starting an optimization.
+bench-baseline:
+	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem . | $(GO) run ./scripts/benchjson -key baseline -o BENCH_1.json

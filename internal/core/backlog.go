@@ -105,6 +105,7 @@ func RunBacklog(cfg BacklogConfig) (BacklogResult, error) {
 	eng := sim.New()
 	m := cluster.New(cfg.ClusterSizes)
 	s := &backlogSim{eng: eng, m: m, ext: cfg.Spec.ExtensionFactor}
+	eng.SetHandler(s.handleEvent)
 	s.busy.StartAt(0, 0)
 
 	var nextID int64
@@ -177,13 +178,17 @@ func (s *backlogSim) Dispatch(j *workload.Job, placement []int) {
 	}
 	s.m.Alloc(j.Components, placement)
 	s.busy.Set(now, float64(s.m.Busy()))
-	s.eng.After(j.ExtendedServiceTime, func() {
-		t := s.eng.Now()
-		j.FinishTime = t
-		s.m.Release(j.Components, j.Placement)
-		s.busy.Set(t, float64(s.m.Busy()))
-		s.departures++
-		s.pol.JobDeparted(s, j)
-		s.onDepart()
-	})
+	s.eng.ScheduleAfter(j.ExtendedServiceTime, evDeparture, j)
+}
+
+// handleEvent processes the typed departure events of a backlog run.
+func (s *backlogSim) handleEvent(kind int32, payload any) {
+	j := payload.(*workload.Job)
+	t := s.eng.Now()
+	j.FinishTime = t
+	s.m.Release(j.Components, j.Placement)
+	s.busy.Set(t, float64(s.m.Busy()))
+	s.departures++
+	s.pol.JobDeparted(s, j)
+	s.onDepart()
 }

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// resultKey renders a Result for equality checks. %v prints the shortest
+// round-trippable representation of every float64, so equal strings mean
+// bit-identical values — and NaN == NaN, which plain struct comparison
+// would reject.
+func resultKey(r Result) string { return fmt.Sprintf("%+v", r) }
+
+// TestRunReplicationsDeterministic is the guardrail for the parallel
+// replication runner: gathering the replications concurrently must produce
+// exactly the result of running them one by one in seed order, run after
+// run. Any scheduling-order dependence in the gather/merge split shows up
+// here as a flaky mismatch.
+func TestRunReplicationsDeterministic(t *testing.T) {
+	cfg := Config{
+		ClusterSizes: []int{32, 32, 32, 32},
+		Spec:         testSpec(t, 16, 4),
+		Policy:       "GS",
+		WarmupJobs:   200,
+		MeasureJobs:  2000,
+		Seed:         7,
+		ArrivalRate:  testSpecRate(t, 0.5),
+	}
+	const n = 3
+	par, err := RunReplications(cfg, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The serial reference: the same per-replication runs, one at a time,
+	// merged in seed order — what RunReplications did before it went
+	// parallel.
+	serial := make([]Result, n)
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.applyDefaults()
+		c.Seed = cfg.Seed + uint64(i)*1000003
+		serial[i], err = Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := mergeReplications(serial)
+	if resultKey(par) != resultKey(want) {
+		t.Errorf("parallel replications diverge from serial:\nparallel %s\nserial   %s",
+			resultKey(par), resultKey(want))
+	}
+	// And the parallel path must be repeatable against itself.
+	again, err := RunReplications(cfg, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resultKey(par) != resultKey(again) {
+		t.Errorf("parallel replications not repeatable:\nfirst  %s\nsecond %s",
+			resultKey(par), resultKey(again))
+	}
+}

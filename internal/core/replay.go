@@ -185,31 +185,36 @@ func Replay(cfg ReplayConfig) (ReplayResult, error) {
 		busy: &busy,
 		pol:  pol,
 	}
+	rs.onArrive = func(j *workload.Job) {
+		j.ArrivalTime = eng.Now()
+		j.Queue = route()
+		pol.Submit(rs, j)
+		if q := pol.Queued(); q > maxQueue {
+			maxQueue = q
+		}
+	}
+	eng.SetHandler(rs.handleEvent)
 
+	// Jobs are pre-built during setup; the arrival event carries the job
+	// pointer and only stamps the arrival-time-dependent fields when it
+	// fires, so the replay loop itself schedules no closures.
 	for i := range recs {
 		r := recs[i]
 		at := r.Submit / load
 		if at < firstArrival {
 			firstArrival = at
 		}
-		eng.At(at, func() {
-			j := &workload.Job{
-				ID:          int64(r.ID),
-				TotalSize:   r.Size,
-				Components:  workload.Split(r.Size, cfg.ComponentLimit, clusters),
-				ServiceTime: r.Service,
-				ArrivalTime: eng.Now(),
-				Queue:       route(),
-			}
-			j.ExtendedServiceTime = j.ServiceTime
-			if j.Multi() {
-				j.ExtendedServiceTime *= cfg.ExtensionFactor
-			}
-			pol.Submit(rs, j)
-			if q := pol.Queued(); q > maxQueue {
-				maxQueue = q
-			}
-		})
+		j := &workload.Job{
+			ID:          int64(r.ID),
+			TotalSize:   r.Size,
+			Components:  workload.Split(r.Size, cfg.ComponentLimit, clusters),
+			ServiceTime: r.Service,
+		}
+		j.ExtendedServiceTime = j.ServiceTime
+		if j.Multi() {
+			j.ExtendedServiceTime *= cfg.ExtensionFactor
+		}
+		eng.Schedule(at, evArrival, j)
 	}
 	eng.Run()
 
@@ -254,6 +259,7 @@ type replaySim struct {
 	pol        policies.Policy
 	busy       *stats.TimeWeighted
 	onDispatch func(*workload.Job)
+	onArrive   func(*workload.Job)
 	onDepart   func(*workload.Job)
 }
 
@@ -270,12 +276,23 @@ func (s *replaySim) Dispatch(j *workload.Job, placement []int) {
 	s.m.Alloc(j.Components, placement)
 	s.busy.Set(now, float64(s.m.Busy()))
 	s.onDispatch(j)
-	s.eng.After(j.ExtendedServiceTime, func() {
+	s.eng.ScheduleAfter(j.ExtendedServiceTime, evDeparture, j)
+}
+
+// handleEvent dispatches the typed arrival/departure events of a replay.
+func (s *replaySim) handleEvent(kind int32, payload any) {
+	j := payload.(*workload.Job)
+	switch kind {
+	case evArrival:
+		s.onArrive(j)
+	case evDeparture:
 		t := s.eng.Now()
 		j.FinishTime = t
 		s.m.Release(j.Components, j.Placement)
 		s.busy.Set(t, float64(s.m.Busy()))
 		s.onDepart(j)
 		s.pol.JobDeparted(s, j)
-	})
+	default:
+		panic(fmt.Sprintf("core: unknown replay event kind %d", kind))
+	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 
 	"coalloc/internal/cluster"
@@ -10,6 +11,15 @@ import (
 	"coalloc/internal/sim"
 	"coalloc/internal/stats"
 	"coalloc/internal/workload"
+	"coalloc/internal/workpool"
+)
+
+// Typed event kinds for the open-system hot loop. Arrivals and departures
+// go through the engine's typed-payload path (one handler, job pointer as
+// payload) so the simulation schedules no per-event closures.
+const (
+	evArrival int32 = iota
+	evDeparture
 )
 
 // simulation implements policies.Ctx and carries one run's state.
@@ -79,7 +89,19 @@ func (s *simulation) Dispatch(j *workload.Job, placement []int) {
 		s.grossWork += float64(j.TotalSize) * j.ExtendedServiceTime
 		s.netWork += float64(j.TotalSize) * j.ServiceTime
 	}
-	s.eng.After(j.ExtendedServiceTime, func() { s.depart(j) })
+	s.eng.ScheduleAfter(j.ExtendedServiceTime, evDeparture, j)
+}
+
+// handleEvent dispatches the typed events of the open-system loop.
+func (s *simulation) handleEvent(kind int32, payload any) {
+	switch kind {
+	case evArrival:
+		s.arrive()
+	case evDeparture:
+		s.depart(payload.(*workload.Job))
+	default:
+		panic(fmt.Sprintf("core: unknown event kind %d", kind))
+	}
 }
 
 // depart releases the job's processors, records metrics, and gives the
@@ -162,12 +184,12 @@ func (s *simulation) arrive() {
 	j.Queue = s.routeQueue()
 	s.inSystem.Add(now, 1)
 	s.pol.Submit(s, j)
-	s.eng.After(s.arrivals.Exp(s.arrivalRate), s.arrive)
+	s.eng.ScheduleAfter(s.arrivals.Exp(s.arrivalRate), evArrival, nil)
 }
 
-// newSimulation wires up a run from its configuration.
+// newSimulation wires up a run from its configuration. The caller must
+// have normalized cfg with applyDefaults (Run does).
 func newSimulation(cfg Config) (*simulation, error) {
-	cfg.applyDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -194,7 +216,7 @@ func newSimulation(cfg Config) (*simulation, error) {
 	if batchSize < 1 {
 		batchSize = 1
 	}
-	return &simulation{
+	s := &simulation{
 		eng:         sim.New(),
 		m:           cluster.New(cfg.ClusterSizes),
 		busyPer:     make([]stats.TimeWeighted, len(cfg.ClusterSizes)),
@@ -213,18 +235,20 @@ func newSimulation(cfg Config) (*simulation, error) {
 		measureJobs: cfg.MeasureJobs,
 		batch:       stats.NewBatchMeans(batchSize),
 		quantiles:   stats.NewQuantileSet(),
-	}, nil
+	}
+	s.eng.SetHandler(s.handleEvent)
+	return s, nil
 }
 
 // Run executes one open-system simulation and returns its metrics.
 func Run(cfg Config) (Result, error) {
+	cfg.applyDefaults()
 	s, err := newSimulation(cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	cfg.applyDefaults()
 	s.busy.StartAt(0, 0)
-	s.eng.After(s.arrivals.Exp(s.arrivalRate), s.arrive)
+	s.eng.ScheduleAfter(s.arrivals.Exp(s.arrivalRate), evArrival, nil)
 	s.eng.Run()
 
 	now := s.eng.Now()
@@ -311,10 +335,35 @@ func RunAtUtilization(cfg Config, grossUtil float64) (Result, error) {
 // RunReplications runs n independent replications (seeds Seed, Seed+1, ...)
 // and merges the results. The response-time half-width is the 95% Student-t
 // interval across replication means.
+//
+// Replications execute concurrently on the shared worker pool (package
+// workpool), but the merge consumes their results in seed order, so the
+// returned Result is bit-identical to running the replications serially.
 func RunReplications(cfg Config, n int) (Result, error) {
 	if n <= 0 {
 		n = 1
 	}
+	results := make([]Result, n)
+	errs := make([]error, n)
+	workpool.Do(n, func(i int) {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(i)*1000003
+		results[i], errs[i] = Run(c)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	return mergeReplications(results), nil
+}
+
+// mergeReplications folds per-replication results, in order, into the
+// across-replication summary. Keeping it separate from the (parallel)
+// gathering pins down the determinism guarantee: the merge arithmetic sees
+// the same values in the same order regardless of completion order.
+func mergeReplications(results []Result) Result {
+	n := len(results)
 	var merged Result
 	var resp, respLocal, respGlobal, gross, net stats.Welford
 	var median, p95, slow, inSystem, throughput, imbalance stats.Welford
@@ -324,12 +373,7 @@ func RunReplications(cfg Config, n int) (Result, error) {
 	var jobs, finalQueue int
 	saturated := false
 	for i := 0; i < n; i++ {
-		c := cfg
-		c.Seed = cfg.Seed + uint64(i)*1000003
-		r, err := Run(c)
-		if err != nil {
-			return Result{}, err
-		}
+		r := results[i]
 		resp.Add(r.MeanResponse)
 		if !math.IsNaN(r.MeanResponseLocal) {
 			respLocal.Add(r.MeanResponseLocal)
@@ -396,7 +440,7 @@ func RunReplications(cfg Config, n int) (Result, error) {
 	merged.FinalQueue = finalQueue
 	merged.Saturated = saturated
 	merged.SimTime = simTime
-	return merged, nil
+	return merged
 }
 
 // Sanity helpers -------------------------------------------------------------

@@ -1,74 +1,61 @@
 package experiments
 
 import (
-	"runtime"
-	"sync"
+	"sync/atomic"
 
 	"coalloc/internal/core"
+	"coalloc/internal/workpool"
 )
 
 // The utilization sweeps behind each figure are embarrassingly parallel:
 // every (configuration, utilization) point is an independent simulation.
-// runPoints fans the points of one curve out over a bounded worker pool
-// while preserving the sweep's sequential early-stop semantics: the curve
-// still ends at the first saturated (or over-cap) point, exactly as the
-// serial sweep would, because results are consumed in grid order.
+// runPoints fans the points of one curve out over the process-wide worker
+// pool while preserving the sweep's sequential early-stop semantics: the
+// curve still ends at the first saturated (or failed) point, exactly as
+// the serial sweep would, because results are consumed in grid order.
 
-// pointResult pairs a grid index with its simulation outcome.
-type pointResult struct {
-	idx int
-	res core.Result
-	err error
-}
-
-// maxWorkers bounds the sweep parallelism.
-func maxWorkers() int {
-	n := runtime.GOMAXPROCS(0)
-	if n < 1 {
-		n = 1
-	}
-	return n
-}
-
-// runPoints runs fn over the grid in windows of maxWorkers() concurrent
-// points and returns results in grid order. After each window it checks
-// for a saturated (or failed) point: points beyond the first saturated one
-// are never launched, so the wasted work of a parallel sweep is bounded by
-// one window past saturation — super-saturated simulations are the most
-// expensive ones, and the serial sweep's early stop is preserved up to
-// window granularity. The returned slice may therefore be shorter than the
-// grid; it always extends at least through the first saturated point.
+// runPoints runs fn over the grid on the shared workpool and returns
+// results in grid order. The points are claimed work-stealing style from a
+// single shared counter, so one slow point never stalls the others — the
+// remaining workers keep draining the grid. When a point saturates or
+// fails, the stop marker shrinks and points at or beyond it are never
+// started; the wasted work of the parallel sweep is bounded by the points
+// already in flight, at most one pool's width past the stop. The returned
+// slice may therefore be shorter than the grid; it always extends at least
+// through the first saturated point.
 func runPoints(grid []float64, fn func(util float64) (core.Result, error)) ([]core.Result, error) {
-	w := maxWorkers()
-	results := make([]core.Result, 0, len(grid))
-	for start := 0; start < len(grid); start += w {
-		end := start + w
-		if end > len(grid) {
-			end = len(grid)
+	results := make([]core.Result, len(grid))
+	errs := make([]error, len(grid))
+	var stopAt atomic.Int64 // index after the first saturated/failed point
+	stopAt.Store(int64(len(grid)))
+	workpool.Do(len(grid), func(i int) {
+		if int64(i) >= stopAt.Load() {
+			return
 		}
-		window := make([]core.Result, end-start)
-		errs := make([]error, end-start)
-		var wg sync.WaitGroup
-		for i := start; i < end; i++ {
-			i := i
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				window[i-start], errs[i-start] = fn(grid[i])
-			}()
-		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
+		results[i], errs[i] = fn(grid[i])
+		if errs[i] != nil || results[i].Saturated {
+			// Shrink stopAt to min(stopAt, i+1): the sweep ends here
+			// unless an earlier point also stops it.
+			for {
+				cur := stopAt.Load()
+				if cur <= int64(i)+1 || stopAt.CompareAndSwap(cur, int64(i)+1) {
+					break
+				}
 			}
 		}
-		results = append(results, window...)
-		for _, res := range window {
-			if res.Saturated {
-				return results, nil
-			}
+	})
+	// Consume in grid order: every index below the final stop marker ran
+	// (the marker only shrinks to just past a completed point, and tasks
+	// skip only indexes at or beyond it).
+	out := results[:0]
+	for i := 0; int64(i) < stopAt.Load(); i++ {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out = append(out, results[i])
+		if results[i].Saturated {
+			break
 		}
 	}
-	return results, nil
+	return out, nil
 }

@@ -15,8 +15,16 @@ import (
 // FCFS start-time guarantees — the classic comparison in the backfilling
 // literature, provided here as an ablation alongside GS-EASY.
 //
-// Each scheduling pass rebuilds the free-capacity profile from scratch and
-// walks the queue in FCFS order, dispatching the jobs whose earliest
+// The free-capacity profile of the running jobs is maintained
+// incrementally: a job start reserves its window in the base profile, a
+// departure merely lets the clock advance past the release breakpoint the
+// reservation already encoded, and each scheduling pass trims the base to
+// the current time and clones it into scratch storage for the pass's
+// transient queue reservations. Rebuilding from scratch — sorting the
+// running set and re-applying every release — happens only once, on the
+// first pass; the equivalence of the two constructions over random job
+// streams is pinned down by TestIncrementalProfileMatchesRebuilt. The pass
+// then walks the queue in FCFS order, dispatching the jobs whose earliest
 // feasible start is now and reserving future slots for the rest. Because
 // new jobs join at the tail and departures only add capacity,
 // recomputation never pushes an earlier job's start later — the
@@ -26,6 +34,8 @@ type Conservative struct {
 	q       queues.FIFO
 	fit     cluster.Fit
 	running []runInfo
+	base    *profile // incremental forecast of the running jobs' releases
+	scratch profile  // reusable per-pass working copy
 }
 
 // NewConservative returns the conservative-backfilling global scheduler.
@@ -53,11 +63,31 @@ func (p *Conservative) Submit(ctx Ctx, j *workload.Job) {
 func (p *Conservative) JobDeparted(ctx Ctx, j *workload.Job) {
 	for i := range p.running {
 		if p.running[i].job == j {
+			r := p.running[i]
 			p.running = append(p.running[:i], p.running[i+1:]...)
+			p.releaseEarly(ctx.Now(), r)
 			break
 		}
 	}
 	p.pass(ctx)
+}
+
+// releaseEarly returns a job's remaining reservation to the base profile
+// when it departs before its forecast finish time. The event engine fires
+// departures exactly at the forecast finish, so in simulation runs this is
+// a no-op; it keeps the incremental profile correct for any Ctx (unit
+// tests, a future preemptive variant) whose clock says otherwise.
+func (p *Conservative) releaseEarly(now float64, r runInfo) {
+	if p.base == nil || r.finish <= now {
+		return
+	}
+	p.base.trim(now)
+	end := p.base.segmentAt(r.finish, true)
+	for s := 0; s < end; s++ {
+		for i, c := range r.placement {
+			p.base.idle[s][c] += r.comps[i]
+		}
+	}
 }
 
 // reservationCap bounds the number of queued jobs that receive
@@ -69,14 +99,41 @@ func (p *Conservative) JobDeparted(ctx Ctx, j *workload.Job) {
 // for every job that ever reaches the lookahead window.
 const reservationCap = 32
 
-// pass rebuilds the profile and walks the head of the queue in FCFS order.
+// passProfile produces the working profile for one scheduling pass: the
+// incrementally maintained base, trimmed to now and cloned into scratch.
+// Jobs whose finish time has arrived but whose departure event has not yet
+// fired still hold their processors, so their release — which the base
+// encoded when they started — is subtracted back out, exactly as a
+// rebuild-from-scratch (which skips finish <= now) would produce.
+func (p *Conservative) passProfile(m *cluster.Multicluster, now float64) *profile {
+	if p.base == nil {
+		p.base = newProfile(m, now, p.running)
+	} else {
+		p.base.trim(now)
+	}
+	prof := p.base.cloneInto(&p.scratch)
+	for i := range p.running {
+		r := &p.running[i]
+		if r.finish > now {
+			continue
+		}
+		for s := range prof.idle {
+			for ci, c := range r.placement {
+				prof.idle[s][c] -= r.comps[ci]
+			}
+		}
+	}
+	return prof
+}
+
+// pass walks the head of the queue in FCFS order over the pass profile.
 func (p *Conservative) pass(ctx Ctx) {
 	if p.q.Empty() {
 		return
 	}
 	m := ctx.Cluster()
 	now := ctx.Now()
-	prof := newProfile(m, now, p.running)
+	prof := p.passProfile(m, now)
 	var started []*workload.Job
 	p.q.ForEachWaiting(func(idx int, j *workload.Job) bool {
 		if idx >= reservationCap {
@@ -97,6 +154,8 @@ func (p *Conservative) pass(ctx Ctx) {
 				comps:     j.Components,
 				placement: placement,
 			})
+			// The start becomes part of the persistent forecast.
+			p.base.reserve(j.Components, placement, now, j.ExtendedServiceTime)
 			started = append(started, j)
 		}
 		return true

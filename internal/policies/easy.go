@@ -26,7 +26,14 @@ type EASY struct {
 	name    string
 	q       queues.FIFO
 	fit     cluster.Fit
-	running []runInfo
+	running []runInfo // kept sorted by ascending finish time
+
+	// Scratch buffers for earliestFit/fitsVector, sized to the cluster
+	// count on first use; they keep the reservation arithmetic
+	// allocation-free.
+	scrIdle  []int
+	scrUsed  []bool
+	scrPlace []int
 }
 
 // runInfo tracks one running job for reservation arithmetic.
@@ -53,7 +60,8 @@ func (p *EASY) Submit(ctx Ctx, j *workload.Job) {
 	p.pass(ctx)
 }
 
-// JobDeparted drops the job from the running set and runs a pass.
+// JobDeparted drops the job from the running set and runs a pass. The
+// removal preserves the finish-time ordering.
 func (p *EASY) JobDeparted(ctx Ctx, j *workload.Job) {
 	for i := range p.running {
 		if p.running[i].job == j {
@@ -64,15 +72,20 @@ func (p *EASY) JobDeparted(ctx Ctx, j *workload.Job) {
 	p.pass(ctx)
 }
 
-// start dispatches a job and records it in the running set.
+// start dispatches a job and inserts it into the running set in
+// finish-time order, so earliestFit never needs to sort.
 func (p *EASY) start(ctx Ctx, j *workload.Job, placement []int) {
 	ctx.Dispatch(j, placement)
-	p.running = append(p.running, runInfo{
+	r := runInfo{
 		job:       j,
 		finish:    ctx.Now() + j.ExtendedServiceTime,
 		comps:     j.Components,
 		placement: placement,
-	})
+	}
+	i := sort.Search(len(p.running), func(k int) bool { return p.running[k].finish > r.finish })
+	p.running = append(p.running, runInfo{})
+	copy(p.running[i+1:], p.running[i:])
+	p.running[i] = r
 }
 
 // pass starts head jobs while they fit, then backfills behind a blocked
@@ -148,25 +161,41 @@ func (p *EASY) dispatchHeld(ctx Ctx, j *workload.Job, placement []int) {
 // current idle state plus the future releases of the running jobs (and an
 // optional extra hypothetical job). It returns +Inf when the components
 // cannot fit even on an empty system.
+//
+// The running set is already sorted by finish time, so the releases are
+// walked in order directly, merging the hypothetical job in at its finish
+// position — no per-call sort, no per-call allocation.
 func (p *EASY) earliestFit(m *cluster.Multicluster, comps []int, now float64, extra *runInfo) float64 {
-	idle := make([]int, m.NumClusters())
+	n := m.NumClusters()
+	if cap(p.scrIdle) < n {
+		p.scrIdle = make([]int, n)
+		p.scrUsed = make([]bool, n)
+		p.scrPlace = make([]int, n)
+	}
+	idle := p.scrIdle[:n]
 	for c := range idle {
 		idle[c] = m.Idle(c)
 	}
-	if fitsVector(idle, comps, p.fit) {
+	if p.fitsVector(idle, comps) {
 		return now
 	}
-	releases := make([]runInfo, 0, len(p.running)+1)
-	releases = append(releases, p.running...)
-	if extra != nil {
-		releases = append(releases, *extra)
-	}
-	sort.Slice(releases, func(a, b int) bool { return releases[a].finish < releases[b].finish })
-	for _, r := range releases {
-		for i, c := range r.placement {
-			idle[c] += r.comps[i]
+	extraDone := extra == nil
+	i := 0
+	for {
+		var r *runInfo
+		if i < len(p.running) && (extraDone || p.running[i].finish <= extra.finish) {
+			r = &p.running[i]
+			i++
+		} else if !extraDone {
+			r = extra
+			extraDone = true
+		} else {
+			break
 		}
-		if fitsVector(idle, comps, p.fit) {
+		for ci, c := range r.placement {
+			idle[c] += r.comps[ci]
+		}
+		if p.fitsVector(idle, comps) {
 			return r.finish
 		}
 	}
@@ -175,10 +204,13 @@ func (p *EASY) earliestFit(m *cluster.Multicluster, comps []int, now float64, ex
 
 // fitsVector is the greedy distinct-cluster fit test on a plain idle
 // vector — the same rule Multicluster.Place applies, evaluated on a
-// hypothetical state (see placeVector in profile.go).
-func fitsVector(idle []int, comps []int, fit cluster.Fit) bool {
-	_, ok := placeVector(idle, comps, fit)
-	return ok
+// hypothetical state (see placeVectorInto in profile.go). It uses the
+// policy's scratch buffers, which earliestFit sizes before the first call.
+func (p *EASY) fitsVector(idle []int, comps []int) bool {
+	if len(comps) > len(idle) {
+		return false
+	}
+	return placeVectorInto(idle, comps, p.fit, p.scrPlace[:len(comps)], p.scrUsed[:len(idle)])
 }
 
 // Queued returns the queue length.

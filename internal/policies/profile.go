@@ -11,9 +11,24 @@ import (
 // the data structure behind conservative backfilling: segment i covers
 // [times[i], times[i+1]) (the last segment extends to infinity) with the
 // idle vector idle[i].
+//
+// A profile can be used two ways. newProfile builds a throwaway forecast
+// from the current running set (the reference semantics, and what the
+// equivalence tests compare against). The backfilling policies instead
+// maintain one profile incrementally across events — reserve on job start,
+// trim on the advance of the clock — and clone it into reusable scratch
+// storage once per scheduling pass, turning the per-pass cost from
+// "re-sort and re-apply every running job" into "copy the current
+// forecast". Retired idle vectors are recycled through a spare list so the
+// steady state allocates nothing.
 type profile struct {
 	times []float64
 	idle  [][]int
+
+	spare [][]int // retired idle vectors, reused by splits and clones
+	min   []int   // scratch for minWindow
+	used  []bool  // scratch for earliestStart placement
+	place []int   // scratch for earliestStart placement
 }
 
 // newProfile builds a profile from the current idle vector and the future
@@ -42,6 +57,17 @@ func newProfile(m *cluster.Multicluster, now float64, running []runInfo) *profil
 	return p
 }
 
+// allocVec returns a recycled or fresh idle vector of length n.
+func (p *profile) allocVec(n int) []int {
+	if k := len(p.spare); k > 0 {
+		v := p.spare[k-1]
+		p.spare[k-1] = nil
+		p.spare = p.spare[:k-1]
+		return v[:n]
+	}
+	return make([]int, n)
+}
+
 // segmentAt returns the index of the segment starting exactly at t,
 // inserting a breakpoint (split) when split is true and none exists.
 func (p *profile) segmentAt(t float64, split bool) int {
@@ -53,9 +79,8 @@ func (p *profile) segmentAt(t float64, split bool) int {
 		return i - 1
 	}
 	// Split segment i-1 at t.
-	prev := p.idle[i-1]
-	cp := make([]int, len(prev))
-	copy(cp, prev)
+	cp := p.allocVec(len(p.idle[i-1]))
+	copy(cp, p.idle[i-1])
 	p.times = append(p.times, 0)
 	copy(p.times[i+1:], p.times[i:])
 	p.times[i] = t
@@ -65,14 +90,68 @@ func (p *profile) segmentAt(t float64, split bool) int {
 	return i
 }
 
+// trim advances the profile start to now: segments entirely in the past
+// are dropped (their idle vectors are recycled) and the segment covering
+// now becomes the first, clipped to start at now. Breakpoints at exactly
+// now survive as the new start.
+func (p *profile) trim(now float64) {
+	i := sort.SearchFloat64s(p.times, now)
+	if i == len(p.times) || p.times[i] != now {
+		i-- // p.times[i] is the segment covering now
+	}
+	if i <= 0 {
+		if p.times[0] < now {
+			p.times[0] = now
+		}
+		return
+	}
+	for s := 0; s < i; s++ {
+		p.spare = append(p.spare, p.idle[s])
+	}
+	nt := copy(p.times, p.times[i:])
+	ni := copy(p.idle, p.idle[i:])
+	for s := ni; s < len(p.idle); s++ {
+		p.idle[s] = nil
+	}
+	p.times = p.times[:nt]
+	p.idle = p.idle[:ni]
+	p.times[0] = now
+}
+
+// cloneInto copies the profile's segments into dst's storage (reusing its
+// slices and spare vectors) and returns dst. The clone shares no state
+// with p; it is the per-pass working copy transient reservations go into.
+func (p *profile) cloneInto(dst *profile) *profile {
+	dst.times = append(dst.times[:0], p.times...)
+	// Recycle whatever vectors dst currently holds, then take them back.
+	for s := range dst.idle {
+		if dst.idle[s] != nil {
+			dst.spare = append(dst.spare, dst.idle[s])
+			dst.idle[s] = nil
+		}
+	}
+	dst.idle = dst.idle[:0]
+	for s := range p.idle {
+		v := dst.allocVec(len(p.idle[s]))
+		copy(v, p.idle[s])
+		dst.idle = append(dst.idle, v)
+	}
+	return dst
+}
+
 // minWindow returns the pointwise minimum idle vector over [t, t+dur).
+// The returned slice is the profile's scratch buffer; callers must not
+// retain it across profile calls.
 func (p *profile) minWindow(t, dur float64) []int {
 	end := t + dur
 	start := sort.SearchFloat64s(p.times, t)
 	if start == len(p.times) || p.times[start] != t {
 		start--
 	}
-	min := make([]int, len(p.idle[0]))
+	if cap(p.min) < len(p.idle[0]) {
+		p.min = make([]int, len(p.idle[0]))
+	}
+	min := p.min[:len(p.idle[0])]
 	copy(min, p.idle[start])
 	for s := start + 1; s < len(p.times) && p.times[s] < end; s++ {
 		for c, v := range p.idle[s] {
@@ -88,10 +167,19 @@ func (p *profile) minWindow(t, dur float64) []int {
 // hold the same distinct clusters for the whole duration, together with
 // the placement. It returns +Inf when the components can never fit.
 func (p *profile) earliestStart(comps []int, dur float64, fit cluster.Fit) (float64, []int) {
+	n := len(p.idle[0])
+	if cap(p.used) < n {
+		p.used = make([]bool, n)
+	}
+	if cap(p.place) < len(comps) {
+		p.place = make([]int, len(comps))
+	}
 	for s := 0; s < len(p.times); s++ {
 		t := p.times[s]
 		min := p.minWindow(t, dur)
-		if placement, ok := placeVector(min, comps, fit); ok {
+		if placeVectorInto(min, comps, fit, p.place[:len(comps)], p.used[:n]) {
+			placement := make([]int, len(comps))
+			copy(placement, p.place)
 			return t, placement
 		}
 	}
@@ -118,8 +206,23 @@ func placeVector(idle []int, comps []int, fit cluster.Fit) ([]int, bool) {
 	if len(comps) > len(idle) {
 		return nil, false
 	}
-	used := make([]bool, len(idle))
 	placement := make([]int, len(comps))
+	if !placeVectorInto(idle, comps, fit, placement, make([]bool, len(idle))) {
+		return nil, false
+	}
+	return placement, true
+}
+
+// placeVectorInto is placeVector writing into caller-provided storage:
+// placement receives the chosen cluster per component, used is scratch of
+// length len(idle). It reports whether the components fit.
+func placeVectorInto(idle, comps []int, fit cluster.Fit, placement []int, used []bool) bool {
+	if len(comps) > len(idle) {
+		return false
+	}
+	for c := range used {
+		used[c] = false
+	}
 	for ci, need := range comps {
 		best := -1
 		for c := range idle {
@@ -142,10 +245,10 @@ func placeVector(idle []int, comps []int, fit cluster.Fit) ([]int, bool) {
 			}
 		}
 		if best < 0 {
-			return nil, false
+			return false
 		}
 		used[best] = true
 		placement[ci] = best
 	}
-	return placement, true
+	return true
 }

@@ -1,0 +1,161 @@
+package policies
+
+import (
+	"math"
+	"testing"
+
+	"coalloc/internal/cluster"
+	"coalloc/internal/rng"
+	"coalloc/internal/workload"
+)
+
+// profilesEqual reports whether two profiles describe identical forecasts:
+// same breakpoints, same idle vector on every segment.
+func profilesEqual(a, b *profile) bool {
+	if len(a.times) != len(b.times) {
+		return false
+	}
+	for i := range a.times {
+		if a.times[i] != b.times[i] {
+			return false
+		}
+		if len(a.idle[i]) != len(b.idle[i]) {
+			return false
+		}
+		for c := range a.idle[i] {
+			if a.idle[i][c] != b.idle[i][c] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestIncrementalProfileMatchesRebuilt drives a Conservative policy
+// through random engine-like job streams (arrivals and exact-time
+// departures, including arrivals that tie with a departure and are
+// processed first, as the FIFO event order allows) and checks after every
+// event that the incrementally maintained pass profile is identical to
+// one rebuilt from scratch out of the running set.
+func TestIncrementalProfileMatchesRebuilt(t *testing.T) {
+	for seed := uint64(1); seed <= 30; seed++ {
+		r := rng.NewStream(seed)
+		nc := 1 + r.Intn(4)
+		size := 16 + r.Intn(17)
+		sizes := make([]int, nc)
+		for i := range sizes {
+			sizes[i] = size
+		}
+		ctx := newMockCtx(sizes...)
+		var p *Conservative
+		if nc == 1 {
+			p = NewSCConservative()
+		} else {
+			p = NewConservative([]cluster.Fit{cluster.WorstFit, cluster.BestFit, cluster.FirstFit}[r.Intn(3)])
+		}
+
+		finish := map[*workload.Job]float64{}
+		dispatched := 0
+		var nextID int64
+
+		submit := func() {
+			nextID++
+			n := 1 + r.Intn(nc)
+			comps := make([]int, n)
+			for i := range comps {
+				comps[i] = 1 + r.Intn(size)
+			}
+			for i := 1; i < n; i++ {
+				if comps[i] > comps[i-1] {
+					comps[i] = comps[i-1]
+				}
+			}
+			p.Submit(ctx, svcJob(nextID, 1+r.Float64()*100, comps...))
+		}
+		check := func(what string) {
+			t.Helper()
+			got := p.passProfile(ctx.m, ctx.now)
+			want := newProfile(ctx.m, ctx.now, p.running)
+			if !profilesEqual(got, want) {
+				t.Fatalf("seed %d after %s at t=%g:\nincremental times %v idle %v\nrebuilt     times %v idle %v",
+					seed, what, ctx.now, got.times, got.idle, want.times, want.idle)
+			}
+		}
+		record := func() {
+			for ; dispatched < len(ctx.dispatched); dispatched++ {
+				j := ctx.dispatched[dispatched]
+				finish[j] = ctx.now + j.ExtendedServiceTime
+			}
+		}
+
+		for step := 0; step < 120; step++ {
+			// Find the earliest pending departure.
+			var dj *workload.Job
+			dt := math.Inf(1)
+			for j, f := range finish {
+				if f < dt || (f == dt && j.ID < dj.ID) {
+					dj, dt = j, f
+				}
+			}
+			if dj == nil || (p.Queued() < 24 && r.Float64() < 0.55) {
+				// Arrival: sometimes exactly at the next finish time,
+				// before that departure fires — the event tie the FIFO
+				// engine order permits.
+				if dj != nil && r.Float64() < 0.25 {
+					ctx.now = dt
+				} else if dj != nil {
+					ctx.now += r.Float64() * (dt - ctx.now)
+				} else {
+					ctx.now += r.Float64() * 20
+				}
+				submit()
+				record()
+				check("arrival")
+			} else {
+				ctx.now = dt
+				delete(finish, dj)
+				ctx.finish(p, dj)
+				record()
+				check("departure")
+			}
+		}
+	}
+}
+
+// TestProfileTrimAndClone pins the low-level invariants the incremental
+// path relies on: trim drops past segments, keeps a breakpoint landing
+// exactly on now, and cloneInto produces an independent copy.
+func TestProfileTrimAndClone(t *testing.T) {
+	m := cluster.New([]int{32})
+	p := newProfile(m, 0, []runInfo{
+		{finish: 10, comps: []int{8}, placement: []int{0}},
+		{finish: 20, comps: []int{4}, placement: []int{0}},
+	})
+	m.Alloc([]int{12}, []int{0})
+	p = newProfile(m, 0, []runInfo{
+		{finish: 10, comps: []int{8}, placement: []int{0}},
+		{finish: 20, comps: []int{4}, placement: []int{0}},
+	})
+	// Segments: [0,10): 20, [10,20): 28, [20,inf): 32.
+	p.trim(5)
+	if p.times[0] != 5 || p.idle[0][0] != 20 || len(p.times) != 3 {
+		t.Fatalf("trim(5): times %v idle %v", p.times, p.idle)
+	}
+	p.trim(10)
+	if len(p.times) != 2 || p.times[0] != 10 || p.idle[0][0] != 28 {
+		t.Fatalf("trim(10): times %v idle %v", p.times, p.idle)
+	}
+	if len(p.spare) == 0 {
+		t.Error("trim did not recycle the dropped idle vector")
+	}
+	var scratch profile
+	cp := p.cloneInto(&scratch)
+	if !profilesEqual(cp, p) {
+		t.Fatalf("clone differs: %v %v vs %v %v", cp.times, cp.idle, p.times, p.idle)
+	}
+	cp.idle[0][0] = -999
+	cp.times[0] = -999
+	if p.idle[0][0] != 28 || p.times[0] != 10 {
+		t.Error("clone shares storage with the original")
+	}
+}

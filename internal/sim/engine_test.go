@@ -91,7 +91,7 @@ func TestCancel(t *testing.T) {
 func TestCancelMiddleOfHeap(t *testing.T) {
 	e := New()
 	var got []float64
-	var evs []*Event
+	var evs []Event
 	for _, tm := range []float64{1, 2, 3, 4, 5, 6, 7, 8} {
 		tm := tm
 		evs = append(evs, e.At(tm, func() { got = append(got, tm) }))
@@ -241,7 +241,7 @@ func TestHeapRandomCancels(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		e := New()
 		type rec struct {
-			ev        *Event
+			ev        Event
 			time      float64
 			cancelled bool
 		}

@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestSlotPoolReuse drives many schedule/fire cycles and checks that the
+// arena stays at the high-water mark of concurrent events instead of
+// growing with the total event count.
+func TestSlotPoolReuse(t *testing.T) {
+	e := New()
+	const width = 8 // concurrent pending events
+	var next func()
+	fired := 0
+	next = func() {
+		fired++
+		if fired < 10_000 {
+			e.After(1, next)
+		}
+	}
+	for i := 0; i < width; i++ {
+		e.After(1, next)
+	}
+	e.Run()
+	if fired < 10_000 {
+		t.Fatalf("fired %d events, want >= 10000", fired)
+	}
+	if len(e.slots) > 2*width {
+		t.Errorf("arena grew to %d slots for %d concurrent events", len(e.slots), width)
+	}
+	if cap(e.heap) > 4*width {
+		t.Errorf("heap capacity %d for %d concurrent events", cap(e.heap), width)
+	}
+}
+
+// TestCancelRecyclesSlot checks that a cancelled event's slot returns to
+// the free list and that its stale handle cannot touch the slot's next
+// tenant.
+func TestCancelRecyclesSlot(t *testing.T) {
+	e := New()
+	stale := e.At(5, func() { t.Error("cancelled event ran") })
+	if !e.Cancel(stale) {
+		t.Fatal("Cancel reported false for a pending event")
+	}
+	ran := false
+	fresh := e.At(3, func() { ran = true })
+	if fresh.id != stale.id {
+		t.Fatalf("fresh event got slot %d, want recycled slot %d", fresh.id, stale.id)
+	}
+	// The stale handle must not cancel or observe the recycled slot.
+	if stale.Pending() {
+		t.Error("stale handle reports pending")
+	}
+	if e.Cancel(stale) {
+		t.Error("stale handle cancelled the slot's new tenant")
+	}
+	if !fresh.Pending() {
+		t.Error("fresh event not pending after stale Cancel attempt")
+	}
+	e.Run()
+	if !ran {
+		t.Error("recycled-slot event did not run")
+	}
+	if e.live != 0 {
+		t.Errorf("live = %d after drain, want 0", e.live)
+	}
+}
+
+// TestFiredSlotHandleGoesStale checks generation hygiene across firing.
+func TestFiredSlotHandleGoesStale(t *testing.T) {
+	e := New()
+	ev := e.At(1, func() {})
+	e.Run()
+	if ev.Pending() {
+		t.Error("fired event reports pending")
+	}
+	if e.Cancel(ev) {
+		t.Error("Cancel of a fired event reported true")
+	}
+	// Reuse the slot and verify the old handle stays inert.
+	ev2 := e.At(2, func() {})
+	if e.Cancel(ev) {
+		t.Error("stale handle cancelled recycled slot")
+	}
+	if !ev2.Pending() {
+		t.Error("recycled event lost pending state")
+	}
+}
+
+// TestSteadyStateAllocationFree verifies the pooled kernel's core promise:
+// once warmed up, schedule+fire cycles perform no heap allocation.
+func TestSteadyStateAllocationFree(t *testing.T) {
+	e := New()
+	var next func()
+	next = func() { e.After(1, next) }
+	e.After(1, next)
+	for i := 0; i < 100; i++ { // warm the arena and heap capacity
+		e.Step()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Step allocates %.2f objects/op, want 0", allocs)
+	}
+}
+
+// TestTypedEventsAllocationFree verifies the typed-payload path stays
+// allocation-free when the payload is a pointer (the arrival/departure
+// case: payloads are *workload.Job).
+func TestTypedEventsAllocationFree(t *testing.T) {
+	type job struct{ id int }
+	j := &job{id: 1}
+	e := New()
+	e.SetHandler(func(kind int32, payload any) {
+		e.ScheduleAfter(1, kind, payload)
+	})
+	e.ScheduleAfter(1, 7, j)
+	for i := 0; i < 100; i++ {
+		e.Step()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("typed Step allocates %.2f objects/op, want 0", allocs)
+	}
+}
+
+// TestTypedDispatch checks that kinds and payloads arrive intact and in
+// (time, seq) order alongside closure events.
+func TestTypedDispatch(t *testing.T) {
+	e := New()
+	type fire struct {
+		kind    int32
+		payload any
+	}
+	var got []fire
+	e.SetHandler(func(kind int32, payload any) {
+		got = append(got, fire{kind, payload})
+	})
+	p1, p2 := &struct{ n int }{1}, &struct{ n int }{2}
+	e.Schedule(2, 1, p2)
+	e.Schedule(1, 0, p1)
+	closureRan := false
+	e.At(1.5, func() { closureRan = true })
+	e.Run()
+	if len(got) != 2 || got[0].kind != 0 || got[0].payload != any(p1) ||
+		got[1].kind != 1 || got[1].payload != any(p2) {
+		t.Errorf("typed dispatch got %+v", got)
+	}
+	if !closureRan {
+		t.Error("closure event between typed events did not run")
+	}
+}
+
+// TestScheduleWithoutHandlerPanics guards the misconfiguration.
+func TestScheduleWithoutHandlerPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("Schedule without SetHandler did not panic")
+		}
+	}()
+	e.Schedule(1, 0, nil)
+}

@@ -1,0 +1,70 @@
+// Package workpool provides one process-wide bounded worker pool shared by
+// every layer of simulation parallelism — the utilization points of a
+// sweep, the replications of a point — so that nested fan-out cannot
+// multiply into GOMAXPROCS² goroutines, and a slow task in one layer never
+// stalls unrelated work in another.
+//
+// The pool is a counting semaphore, not a fixed worker set: Do recruits a
+// goroutine per free slot and the calling goroutine always participates in
+// its own task list. That last property makes nesting deadlock-free — a
+// caller that holds a slot while waiting for its children still executes
+// those children itself, so progress never depends on slot availability.
+package workpool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// sem bounds the number of recruited worker goroutines process-wide.
+var sem = make(chan struct{}, poolSize())
+
+func poolSize() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Size returns the pool's slot count (the maximum recruited parallelism).
+func Size() int { return cap(sem) }
+
+// Do runs task(0) … task(n-1) and returns when all have completed. Tasks
+// are claimed from a shared counter, so they start in index order and a
+// slow task delays only itself. Parallelism is the number of free pool
+// slots at call time plus the caller; with no free slots Do degrades to a
+// plain serial loop on the caller's goroutine.
+func Do(n int, task func(i int)) {
+	if n <= 0 {
+		return
+	}
+	var next atomic.Int64
+	worker := func() {
+		for {
+			i := next.Add(1) - 1
+			if i >= int64(n) {
+				return
+			}
+			task(int(i))
+		}
+	}
+	var wg sync.WaitGroup
+recruit:
+	for k := 1; k < n; k++ {
+		select {
+		case sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				worker()
+			}()
+		default:
+			break recruit // pool exhausted; the caller still makes progress
+		}
+	}
+	worker()
+	wg.Wait()
+}

@@ -1,0 +1,78 @@
+package workpool
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDoRunsEveryTask(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100} {
+		var ran atomic.Int64
+		seen := make([]atomic.Bool, n+1)
+		Do(n, func(i int) {
+			if seen[i].Swap(true) {
+				t.Errorf("n=%d: task %d ran twice", n, i)
+			}
+			ran.Add(1)
+		})
+		if int(ran.Load()) != n {
+			t.Errorf("n=%d: ran %d tasks", n, ran.Load())
+		}
+	}
+}
+
+// TestNestedDoCompletes exercises the deadlock-freedom property: every
+// outer task runs an inner Do while the pool is saturated.
+func TestNestedDoCompletes(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var total atomic.Int64
+		Do(4*Size(), func(i int) {
+			Do(4, func(j int) {
+				total.Add(1)
+			})
+		})
+		if want := int64(16 * Size()); total.Load() != want {
+			t.Errorf("nested Do ran %d inner tasks, want %d", total.Load(), want)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("nested Do deadlocked")
+	}
+}
+
+// TestSlowTaskDoesNotStallOthers starts one slow task and checks the
+// remaining tasks finish long before it.
+func TestSlowTaskDoesNotStallOthers(t *testing.T) {
+	if Size() < 2 {
+		t.Skip("needs >= 2 pool slots")
+	}
+	release := make(chan struct{})
+	var fastDone atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		Do(8, func(i int) {
+			if i == 0 {
+				<-release
+				return
+			}
+			fastDone.Add(1)
+		})
+	}()
+	deadline := time.After(10 * time.Second)
+	for fastDone.Load() != 7 {
+		select {
+		case <-deadline:
+			t.Fatal("fast tasks stalled behind the slow task")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(release)
+	<-done
+}

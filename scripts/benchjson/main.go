@@ -1,0 +1,98 @@
+// Command benchjson converts `go test -bench -benchmem` output into the
+// JSON benchmark record the repo keeps under version control (BENCH_1.json).
+//
+// It reads benchmark output on stdin and merges one snapshot into the
+// output file under the given key, preserving any other keys already
+// recorded there — so a "baseline" snapshot taken before an optimization
+// survives the later "after" run:
+//
+//	go test -run '^$' -bench . -benchmem . | go run ./scripts/benchjson -key baseline -o BENCH_1.json
+//	... optimize ...
+//	go test -run '^$' -bench . -benchmem . | go run ./scripts/benchjson -key after -o BENCH_1.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one benchmark line.
+type benchResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Iterations  int64   `json:"iterations"`
+}
+
+// snapshot is one recorded bench run.
+type snapshot struct {
+	Meta       map[string]string      `json:"meta,omitempty"`
+	Benchmarks map[string]benchResult `json:"benchmarks"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+func main() {
+	key := flag.String("key", "after", "snapshot key to record under (e.g. baseline, after)")
+	out := flag.String("o", "BENCH_1.json", "output JSON file (merged in place)")
+	flag.Parse()
+
+	snap := snapshot{Meta: map[string]string{}, Benchmarks: map[string]benchResult{}}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass through so the run stays readable
+		for _, k := range []string{"goos", "goarch", "cpu", "pkg"} {
+			if v, ok := strings.CutPrefix(line, k+": "); ok {
+				snap.Meta[k] = v
+			}
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		var r benchResult
+		r.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			r.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		if m[5] != "" {
+			r.AllocsPerOp, _ = strconv.ParseFloat(m[5], 64)
+		}
+		snap.Benchmarks[m[1]] = r
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+
+	record := map[string]snapshot{}
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &record); err != nil {
+			fatal(fmt.Errorf("existing %s is not a bench record: %w", *out, err))
+		}
+	}
+	record[*key] = snap
+	data, err := json.MarshalIndent(record, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: recorded %d benchmarks under %q in %s\n", len(snap.Benchmarks), *key, *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
