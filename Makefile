@@ -6,18 +6,32 @@ GO ?= go
 # ride along so end-to-end regeneration time is tracked too.
 BENCHES = BenchmarkEngineEventRate|BenchmarkPolicyThroughput|BenchmarkBackfillPolicies|BenchmarkTable1|BenchmarkFig5
 
-.PHONY: verify test bench bench-baseline
+.PHONY: verify test bench bench-baseline lint fmt-check
 
-# verify is the tier-1 gate: vet, build, the full test suite, and the
-# test suite again under the race detector.
-verify:
+# verify is the tier-1 gate: formatting, vet, build, the detlint
+# determinism rules (cmd/mclint), the full test suite, and the test
+# suite again under the race detector.
+verify: fmt-check
 	$(GO) vet ./...
 	$(GO) build ./...
+	$(GO) run ./cmd/mclint ./...
 	$(GO) test ./...
 	$(GO) test -race ./...
 
 test:
 	$(GO) test ./...
+
+# lint runs the detlint static-analysis suite: the determinism and
+# pooling invariants (nowallclock, noglobalrand, nomaprange,
+# eventretain). `go run ./cmd/mclint -help` prints the rule catalog.
+lint:
+	$(GO) run ./cmd/mclint ./...
+
+# fmt-check fails when any file drifts from gofmt.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt: the following files need formatting:"; echo "$$out"; exit 1; \
+	fi
 
 # bench re-measures the hot paths and records them under the "after" key
 # of BENCH_1.json (preserving the recorded baseline).

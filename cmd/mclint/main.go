@@ -1,0 +1,87 @@
+// Command mclint runs the detlint static-analysis suite over the module:
+// the determinism and pooling invariants the simulator's results depend
+// on, enforced as machine-checked rules (see internal/detlint).
+//
+// Usage:
+//
+//	mclint [-list] [pattern ...]
+//
+// Patterns default to ./... and accept plain directories or the
+// recursive dir/... form, resolved against the working directory. The
+// exit status is 0 when the tree is clean, 1 when any rule fires, and 2
+// on usage or load errors.
+//
+// Findings can be suppressed at a specific site with a mandatory reason:
+//
+//	//detlint:ignore <rule> <reason>
+//
+// placed on the offending line or the line directly above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"coalloc/internal/detlint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("mclint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the rule catalog and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: mclint [-list] [pattern ...]\n\n")
+		fmt.Fprintf(stderr, "Checks the packages matching the patterns (default ./...) against the\n")
+		fmt.Fprintf(stderr, "detlint determinism rules. Exits 1 if any rule fires.\n\nRules:\n")
+		printRules(stderr)
+		fmt.Fprintf(stderr, "\nSuppress a finding on its line or the line above, with a reason:\n")
+		fmt.Fprintf(stderr, "  //detlint:ignore <rule> <reason>\n\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	if *list {
+		printRules(stdout)
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := detlint.Run(detlint.Config{Dir: ".", Patterns: patterns})
+	if err != nil {
+		fmt.Fprintf(stderr, "mclint: %v\n", err)
+		return 2
+	}
+	if len(findings) == 0 {
+		return 0
+	}
+	cwd, _ := os.Getwd()
+	for _, f := range findings {
+		name := f.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && !filepath.IsAbs(rel) {
+				name = rel
+			}
+		}
+		fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", name, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
+	}
+	fmt.Fprintf(stderr, "mclint: %d finding(s)\n", len(findings))
+	return 1
+}
+
+func printRules(w *os.File) {
+	for _, a := range detlint.All() {
+		fmt.Fprintf(w, "  %-12s %s\n", a.Name, a.Doc)
+	}
+}

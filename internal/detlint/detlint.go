@@ -1,0 +1,293 @@
+// Package detlint is a small static-analysis framework that enforces the
+// simulator's determinism and pooling invariants.
+//
+// The paper's results rest on bit-reproducible trace-driven simulation:
+// parallel replications must be byte-identical to the serial loop, and the
+// pooled event arena in internal/sim makes retained sim.Event handles a
+// use-after-release hazard. Those invariants used to be enforced only by
+// convention; detlint turns them into machine-checked rules that run on
+// every `make verify` (see cmd/mclint).
+//
+// The framework is deliberately built on the standard library alone —
+// go/ast, go/parser, go/token and go/types, with stdlib dependencies
+// resolved by the go/importer "source" importer — so the module keeps its
+// zero-dependency property.
+//
+// # Rules
+//
+// Four analyzers ship with the framework (see All):
+//
+//   - nowallclock: no wall-clock time (time.Now, time.Since, time.Sleep,
+//     ...) in deterministic packages; simulations read sim.Engine.Now.
+//   - noglobalrand: no math/rand or math/rand/v2 anywhere in non-test
+//     code; all randomness flows through internal/rng seeded streams.
+//   - nomaprange: no ranging over maps in deterministic packages unless
+//     the loop only collects the keys into a slice that is sorted before
+//     use, or the site carries a suppression.
+//   - eventretain: no storing sim.Event handles into struct fields,
+//     slices, maps, or package-level variables; pooled handles go stale
+//     once the event fires or is cancelled.
+//
+// # Suppressions
+//
+// A finding can be silenced with a directive comment on the same line or
+// on the line directly above it:
+//
+//	//detlint:ignore <rule> <reason>
+//
+// The reason is mandatory: a suppression documents *why* the invariant
+// holds at that site. Malformed directives (missing reason, unknown rule)
+// are themselves reported under the pseudo-rule "detlint".
+package detlint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Analyzer is one lint rule: a stable identifier, a one-line description
+// (shown by `mclint -help`), and a function applied to each loaded
+// package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// All returns the full rule set in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{NoWallClock, NoGlobalRand, NoMapRange, EventRetain}
+}
+
+// DeterministicPackages lists the module-relative import paths whose code
+// must stay bit-reproducible across runs and across serial/parallel
+// execution. nowallclock and nomaprange apply only inside this set;
+// noglobalrand and eventretain apply module-wide.
+var DeterministicPackages = []string{
+	"internal/analysis",
+	"internal/cluster",
+	"internal/core",
+	"internal/dastrace",
+	"internal/dist",
+	"internal/experiments",
+	"internal/plot",
+	"internal/policies",
+	"internal/queues",
+	"internal/rng",
+	"internal/sim",
+	"internal/stats",
+	"internal/wmodel",
+	"internal/workload",
+	"internal/workpool",
+}
+
+// Finding is one rule violation at one source position.
+type Finding struct {
+	Rule string
+	Pos  token.Position
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Rule, f.Msg)
+}
+
+// Pass hands one loaded package to one analyzer and collects its reports.
+type Pass struct {
+	Analyzer *Analyzer
+	Module   *Module
+	Pkg      *Package
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Rule: p.Analyzer.Name,
+		Pos:  p.Module.Fset.Position(pos),
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Deterministic reports whether the package under analysis is in the
+// deterministic set (DeterministicPackages, relative to the module root).
+func (p *Pass) Deterministic() bool {
+	for _, rel := range DeterministicPackages {
+		if p.Pkg.Rel == rel {
+			return true
+		}
+	}
+	return false
+}
+
+// Config selects what Run analyzes.
+type Config struct {
+	// Dir is the base directory: any directory inside the target module.
+	// Relative patterns are resolved against it.
+	Dir string
+	// Patterns name the packages to analyze: ".", a directory path, or a
+	// recursive pattern like "./...". Defaults to "./..." when empty.
+	Patterns []string
+	// Analyzers defaults to All() when nil.
+	Analyzers []*Analyzer
+}
+
+// Run loads the requested packages, applies the analyzers, filters
+// suppressed findings, and returns the survivors sorted by position. It
+// returns an error for load failures (no module, parse or type errors),
+// not for findings.
+func Run(cfg Config) ([]Finding, error) {
+	if len(cfg.Patterns) == 0 {
+		cfg.Patterns = []string{"./..."}
+	}
+	analyzers := cfg.Analyzers
+	if analyzers == nil {
+		analyzers = All()
+	}
+	mod, pkgs, err := load(cfg.Dir, cfg.Patterns)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			a.Run(&Pass{Analyzer: a, Module: mod, Pkg: pkg, findings: &findings})
+		}
+	}
+	sup, bad := collectSuppressions(mod, pkgs, analyzers)
+	findings = append(findings, bad...)
+	kept := findings[:0]
+	for _, f := range findings {
+		if sup.matches(f) {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	findings = kept
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
+	})
+	// Drop exact duplicates (two checks of one analyzer can hit one site).
+	dedup := findings[:0]
+	for i, f := range findings {
+		if i > 0 && f == findings[i-1] {
+			continue
+		}
+		dedup = append(dedup, f)
+	}
+	return dedup, nil
+}
+
+// ignoreDirective is the parsed form of one //detlint:ignore comment.
+const ignorePrefix = "detlint:ignore"
+
+// suppressions maps (file, line, rule) triples to "this finding is
+// silenced". A directive on line L covers findings of its rule on L (the
+// trailing-comment style) and on L+1 (the comment-above style).
+type suppressions map[string]map[int]map[string]bool
+
+func (s suppressions) add(file string, line int, rule string) {
+	byLine := s[file]
+	if byLine == nil {
+		byLine = make(map[int]map[string]bool)
+		s[file] = byLine
+	}
+	for _, l := range [2]int{line, line + 1} {
+		rules := byLine[l]
+		if rules == nil {
+			rules = make(map[string]bool)
+			byLine[l] = rules
+		}
+		rules[rule] = true
+	}
+}
+
+func (s suppressions) matches(f Finding) bool {
+	return s[f.Pos.Filename][f.Pos.Line][f.Rule]
+}
+
+// collectSuppressions scans every comment of every loaded file for
+// //detlint:ignore directives. Malformed directives — missing rule,
+// missing reason, or a rule no active analyzer declares — are returned as
+// findings under the pseudo-rule "detlint".
+func collectSuppressions(mod *Module, pkgs []*Package, analyzers []*Analyzer) (suppressions, []Finding) {
+	// Validate rule names against the full catalog, not just the active
+	// analyzers: a directive for an inactive rule is dormant, not wrong.
+	catalog := All()
+	known := make(map[string]bool, len(catalog)+len(analyzers))
+	for _, a := range catalog {
+		known[a.Name] = true
+	}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	sup := make(suppressions)
+	var bad []Finding
+	report := func(pos token.Position, format string, args ...any) {
+		bad = append(bad, Finding{Rule: "detlint", Pos: pos, Msg: fmt.Sprintf(format, args...)})
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					if !strings.HasPrefix(text, ignorePrefix) {
+						continue
+					}
+					pos := mod.Fset.Position(c.Pos())
+					fields := strings.Fields(strings.TrimPrefix(text, ignorePrefix))
+					if len(fields) == 0 {
+						report(pos, "detlint:ignore without a rule name; use //detlint:ignore <rule> <reason>")
+						continue
+					}
+					rule := fields[0]
+					if !known[rule] {
+						report(pos, "detlint:ignore names unknown rule %q (have %s)", rule, ruleNames(known))
+						continue
+					}
+					if len(fields) < 2 {
+						report(pos, "detlint:ignore %s without a reason; suppressions must document why the invariant holds", rule)
+						continue
+					}
+					sup.add(pos.Filename, pos.Line, rule)
+				}
+			}
+		}
+	}
+	return sup, bad
+}
+
+func ruleNames(known map[string]bool) string {
+	names := make([]string, 0, len(known))
+	for n := range known {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// quoteImportPath unquotes an import spec path, tolerating bad syntax.
+func quoteImportPath(lit string) string {
+	path, err := strconv.Unquote(lit)
+	if err != nil {
+		return lit
+	}
+	return path
+}

@@ -1,0 +1,60 @@
+package detlint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoWallClock forbids reading the wall clock in deterministic packages.
+// Simulated time comes from sim.Engine.Now; a single time.Now (for a
+// timestamp, a timeout, a seed) silently couples results to the host
+// machine and breaks replay.
+var NoWallClock = &Analyzer{
+	Name: "nowallclock",
+	Doc:  "no time.Now/Since/Sleep/... in deterministic packages; use virtual time (sim.Engine.Now)",
+	Run:  runNoWallClock,
+}
+
+// wallClockFuncs are the package-level time functions that observe or
+// depend on the real clock. Pure constructors and constants (time.Date,
+// time.Second) are allowed: they are deterministic values.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+func runNoWallClock(pass *Pass) {
+	if !pass.Deterministic() {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := info.Uses[id].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "time" {
+				return true
+			}
+			if wallClockFuncs[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(),
+					"time.%s reads the wall clock in deterministic package %s; use virtual time (sim.Engine.Now)",
+					sel.Sel.Name, pass.Pkg.ImportPath)
+			}
+			return true
+		})
+	}
+}

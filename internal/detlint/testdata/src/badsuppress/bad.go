@@ -1,0 +1,15 @@
+// Package badsuppress is a fixture for malformed suppression
+// directives; each one below is reported under the pseudo-rule
+// "detlint".
+package badsuppress
+
+//detlint:ignore
+var a = 0
+
+//detlint:ignore nomaprange
+var b = 0
+
+//detlint:ignore nosuchrule because reasons
+var c = 0
+
+var _ = a + b + c

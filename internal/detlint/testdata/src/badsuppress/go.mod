@@ -1,0 +1,3 @@
+module badsuppress
+
+go 1.22

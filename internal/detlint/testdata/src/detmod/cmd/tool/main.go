@@ -1,0 +1,15 @@
+// Command tool is a fixture for rule scoping: cmd packages are outside
+// the deterministic set, so wall-clock reads are fine here — but the
+// rand ban is module-wide.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"math/rand/v2" // want noglobalrand
+)
+
+func main() {
+	fmt.Println(time.Now(), rand.Int())
+}

@@ -1,0 +1,3 @@
+module coalloc
+
+go 1.22

@@ -1,0 +1,13 @@
+// Package dist is a fixture for the module-wide rand ban.
+package dist
+
+import "math/rand" // want noglobalrand
+
+// draw is flagged at the import: even a locally seeded Rand (not just
+// the package-global source) must come from internal/rng instead.
+func draw() float64 {
+	r := rand.New(rand.NewSource(1))
+	return r.Float64()
+}
+
+var _ = draw

@@ -1,0 +1,93 @@
+// Package policies is a fixture: internal/policies is in the
+// deterministic set, so nowallclock and nomaprange apply here, and
+// eventretain applies everywhere outside internal/sim.
+package policies
+
+import (
+	"sort"
+	"time"
+
+	"coalloc/internal/sim"
+)
+
+type sched struct {
+	timeout sim.Event   // want eventretain
+	pending []sim.Event // want eventretain
+	limit   int
+}
+
+type wrapper struct {
+	inner sched // want eventretain
+	label string
+}
+
+var global sim.Event // want eventretain
+
+func stamp() int64 {
+	return time.Now().Unix() // want nowallclock
+}
+
+func nap() {
+	time.Sleep(time.Millisecond) // want nowallclock
+}
+
+// dur is fine: time constants and arithmetic are deterministic values.
+func dur() time.Duration {
+	return 3 * time.Second
+}
+
+// sortedKeys is the sanctioned idiom: collect the keys, sort, then use.
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sortedPositiveKeys guards the append on the value; still safe, the
+// collected set does not depend on iteration order.
+func sortedPositiveKeys(m map[string]int) []string {
+	var out []string
+	for k, v := range m {
+		if v > 0 {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sum(m map[string]int) int {
+	s := 0
+	for _, v := range m { // want nomaprange
+		s += v
+	}
+	return s
+}
+
+func firstKey(m map[string]int) string {
+	for k := range m { // want nomaprange
+		return k
+	}
+	return ""
+}
+
+func retain(e *sim.Engine) {
+	var evs []sim.Event
+	evs = append(evs, e.After(1, nil)) // want eventretain
+	byID := map[int]sim.Event{}        // want eventretain
+	byID[1] = e.After(2, nil)          // want eventretain
+	_ = evs
+	_ = byID
+	_ = global
+	_ = wrapper{}
+	_ = stamp
+	_ = nap
+	_ = dur
+	_ = sortedKeys
+	_ = sortedPositiveKeys
+	_ = sum
+	_ = firstKey
+}

@@ -1,0 +1,25 @@
+// Package queues is a fixture for suppression handling: every violation
+// here carries a justified //detlint:ignore, so no finding survives.
+package queues
+
+// checksum uses the comment-above style.
+func checksum(m map[int]int) int {
+	s := 0
+	//detlint:ignore nomaprange integer sum is order-independent
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// product uses the trailing-comment style.
+func product(m map[int]int) int {
+	p := 1
+	for _, v := range m { //detlint:ignore nomaprange integer product is order-independent
+		p *= v
+	}
+	return p
+}
+
+var _ = checksum
+var _ = product

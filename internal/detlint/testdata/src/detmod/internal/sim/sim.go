@@ -1,0 +1,24 @@
+// Package sim is a minimal stand-in for the real event kernel: just
+// enough surface for the eventretain fixtures. Its import path matches
+// the real one (module "coalloc", directory internal/sim), which is how
+// the analyzer identifies the Event type.
+package sim
+
+// Event mirrors the pooled handle of the real kernel.
+type Event struct {
+	id  int32
+	gen uint32
+}
+
+// Engine mirrors the executive.
+type Engine struct{ now float64 }
+
+// Now returns the virtual time.
+func (e *Engine) Now() float64 { return e.now }
+
+// After schedules a callback and returns its handle.
+func (e *Engine) After(delay float64, fn func()) Event {
+	_ = delay
+	_ = fn
+	return Event{}
+}

@@ -40,13 +40,20 @@ func NewEmpiricalInt(values []int, weights []float64) *EmpiricalInt {
 	if total <= 0 {
 		panic("dist: NewEmpiricalInt weights sum to zero")
 	}
-	vs := make([]int, 0, len(merged))
-	for v, w := range merged {
-		if w > 0 {
+	// Collect and sort the keys before any further use: map iteration
+	// order is nondeterministic and must not reach the support layout
+	// (detlint rule nomaprange).
+	keys := make([]int, 0, len(merged))
+	for v := range merged {
+		keys = append(keys, v)
+	}
+	sort.Ints(keys)
+	vs := keys[:0]
+	for _, v := range keys {
+		if merged[v] > 0 {
 			vs = append(vs, v)
 		}
 	}
-	sort.Ints(vs)
 	d := &EmpiricalInt{
 		values: vs,
 		probs:  make([]float64, len(vs)),

@@ -57,21 +57,29 @@ func (b *BatchMeans) RelativeHalfWidth(confidence float64) float64 {
 	return b.HalfWidth(confidence) / math.Abs(m)
 }
 
-// tTable holds two-sided Student-t critical values t_{df, (1+c)/2} for the
-// 95% confidence level, indexed by degrees of freedom; the last entry
-// approximates the normal limit.
-var tTable95 = map[int64]float64{
-	1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
-	6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
-	12: 2.179, 15: 2.131, 20: 2.086, 25: 2.060, 30: 2.042,
-	40: 2.021, 60: 2.000, 120: 1.980,
+// tEntry is one Student-t critical-value row: degrees of freedom and the
+// two-sided critical value t_{df, (1+c)/2}.
+type tEntry struct {
+	df int64
+	t  float64
 }
 
-var tTable99 = map[int64]float64{
-	1: 63.657, 2: 9.925, 3: 5.841, 4: 4.604, 5: 4.032,
-	6: 3.707, 7: 3.499, 8: 3.355, 9: 3.250, 10: 3.169,
-	12: 3.055, 15: 2.947, 20: 2.845, 25: 2.787, 30: 2.750,
-	40: 2.704, 60: 2.660, 120: 2.617,
+// tTable95 and tTable99 hold the critical values for the 95% and 99%
+// confidence levels in increasing df order; the normal limit covers
+// df > 120. Sorted slices rather than maps keep the lookup scan
+// deterministic (detlint rule nomaprange).
+var tTable95 = []tEntry{
+	{1, 12.706}, {2, 4.303}, {3, 3.182}, {4, 2.776}, {5, 2.571},
+	{6, 2.447}, {7, 2.365}, {8, 2.306}, {9, 2.262}, {10, 2.228},
+	{12, 2.179}, {15, 2.131}, {20, 2.086}, {25, 2.060}, {30, 2.042},
+	{40, 2.021}, {60, 2.000}, {120, 1.980},
+}
+
+var tTable99 = []tEntry{
+	{1, 63.657}, {2, 9.925}, {3, 5.841}, {4, 4.604}, {5, 4.032},
+	{6, 3.707}, {7, 3.499}, {8, 3.355}, {9, 3.250}, {10, 3.169},
+	{12, 3.055}, {15, 2.947}, {20, 2.845}, {25, 2.787}, {30, 2.750},
+	{40, 2.704}, {60, 2.660}, {120, 2.617},
 }
 
 // TQuantile returns the two-sided Student-t critical value for the given
@@ -88,21 +96,16 @@ func TQuantile(df int64, confidence float64) float64 {
 	if df <= 0 {
 		return math.Inf(1)
 	}
-	if t, ok := table[df]; ok {
-		return t
-	}
-	// Largest tabulated df not exceeding the requested one.
-	var best int64 = -1
-	for k := range table {
-		if k <= df && k > best {
-			best = k
-		}
-	}
-	if best < 0 {
-		return table[1]
-	}
-	if df > 120 {
+	if df > table[len(table)-1].df {
 		return norm
 	}
-	return table[best]
+	// Largest tabulated df not exceeding the requested one.
+	best := table[0]
+	for _, e := range table {
+		if e.df > df {
+			break
+		}
+		best = e
+	}
+	return best.t
 }

@@ -165,8 +165,10 @@ func (c *IntCounter) Mean() float64 {
 		return 0
 	}
 	var sum float64
-	for v, n := range c.counts {
-		sum += float64(v) * float64(n)
+	// Sorted iteration fixes the float accumulation order — and with it
+	// the last-bit rounding — across runs (detlint rule nomaprange).
+	for _, v := range c.Values() {
+		sum += float64(v) * float64(c.counts[v])
 	}
 	return sum / float64(c.total)
 }
@@ -181,9 +183,10 @@ func (c *IntCounter) CV() float64 {
 		return 0
 	}
 	var ss float64
-	for v, n := range c.counts {
+	// Sorted iteration, as in Mean: deterministic rounding.
+	for _, v := range c.Values() {
 		d := float64(v) - mean
-		ss += d * d * float64(n)
+		ss += d * d * float64(c.counts[v])
 	}
 	return math.Sqrt(ss/float64(c.total)) / mean
 }
