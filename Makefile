@@ -6,7 +6,7 @@ GO ?= go
 # ride along so end-to-end regeneration time is tracked too.
 BENCHES = BenchmarkEngineEventRate|BenchmarkPolicyThroughput|BenchmarkBackfillPolicies|BenchmarkTable1|BenchmarkFig5
 
-.PHONY: verify test bench bench-baseline lint fmt-check
+.PHONY: verify test bench bench-smoke bench-baseline lint fmt-check
 
 # verify is the tier-1 gate: formatting, vet, build, the detlint
 # determinism rules (cmd/mclint), the full test suite, and the test
@@ -37,6 +37,12 @@ fmt-check:
 # of BENCH_1.json (preserving the recorded baseline).
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem . | $(GO) run ./scripts/benchjson -key after -o BENCH_1.json
+
+# bench-smoke compiles and runs every recorded benchmark exactly once —
+# no timing, no JSON — so CI catches benchmarks that rot (fail to build,
+# panic, or start allocating on a zero-alloc path would show in -benchmem).
+bench-smoke:
+	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchtime 1x -benchmem .
 
 # bench-baseline records the same measurements under "baseline"; run it
 # before starting an optimization.

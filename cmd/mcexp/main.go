@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"coalloc/internal/experiments"
+	"coalloc/internal/obs"
 )
 
 func main() {
@@ -25,6 +26,9 @@ func main() {
 	reps := flag.Int("reps", 0, "replications per point (0 = preset default)")
 	measure := flag.Int("jobs", 0, "measured jobs per run (0 = preset default)")
 	dataDir := flag.String("data", "", "directory for CSV output (optional)")
+	progress := flag.Bool("progress", false, "print one line per completed sweep point (stderr)")
+	metrics := flag.Bool("metrics", false, "print an aggregate metrics summary after the experiments")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: mcexp [flags] <experiment>...|all|list\n\nexperiments:\n")
 		for _, n := range experiments.Names() {
@@ -57,6 +61,22 @@ func main() {
 		params.MeasureJobs = *measure
 	}
 	params.DataDir = *dataDir
+	if *pprofAddr != "" {
+		if err := obs.StartPprof(*pprofAddr); err != nil {
+			fmt.Fprintf(os.Stderr, "mcexp: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *progress {
+		params.Progress = os.Stderr
+	}
+	var observer *obs.Observer
+	if *metrics {
+		// Note: attaching an Observer serializes the sweeps (it is
+		// single-threaded), trading wall-clock for deterministic counts.
+		observer = obs.New(nil)
+		params.Observer = observer
+	}
 	env := experiments.NewEnv(params)
 
 	for _, name := range flag.Args() {
@@ -72,5 +92,12 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(out)
+	}
+	if *metrics {
+		fmt.Println("--- metrics ---")
+		if err := observer.WriteText(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "mcexp: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

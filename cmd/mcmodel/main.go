@@ -49,18 +49,26 @@ func main() {
 	switch os.Args[1] {
 	case "gen":
 		w := os.Stdout
+		var f *os.File
 		if *out != "" {
-			f, err := os.Create(*out)
+			var err error
+			f, err = os.Create(*out)
 			if err != nil {
 				fatalf("%v", err)
 			}
-			defer f.Close()
 			w = f
 		}
 		header := fmt.Sprintf("Feitelson-style model trace\nJobs: %d\nSeed: %d\nMaxProcs: %d",
 			*jobs, *seed, cfg.MaxProcs)
 		if err := dastrace.WriteSWF(w, recs, header); err != nil {
 			fatalf("%v", err)
+		}
+		// Close errors surface the write failures (full disk, quota) that
+		// only materialize when buffered data is flushed.
+		if f != nil {
+			if err := f.Close(); err != nil {
+				fatalf("%v", err)
+			}
 		}
 
 	case "stats":

@@ -19,6 +19,7 @@ import (
 	"coalloc/internal/cluster"
 	"coalloc/internal/core"
 	"coalloc/internal/dastrace"
+	"coalloc/internal/obs"
 	"coalloc/internal/workload"
 )
 
@@ -33,7 +34,16 @@ func main() {
 	jobs := flag.Int("jobs", 0, "replay only the first N jobs (0 = all)")
 	fit := flag.String("fit", "WF", "placement rule: WF, FF or BF")
 	schedule := flag.String("schedule", "", "write the per-job schedule (Gantt CSV) to this file")
+	metrics := flag.Bool("metrics", false, "print a metrics summary block after the results")
+	tracePath := flag.String("trace", "", "write a JSONL event trace to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		if err := obs.StartPprof(*pprofAddr); err != nil {
+			fatalf("%v", err)
+		}
+	}
 
 	var recs []dastrace.Record
 	if flag.NArg() == 0 {
@@ -102,17 +112,48 @@ func main() {
 		QueueWeights:    weights,
 		Seed:            *seed,
 	}
+	var schedFile *os.File
 	if *schedule != "" {
 		f, err := os.Create(*schedule)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		defer f.Close()
+		schedFile = f
 		cfg.ScheduleWriter = f
+	}
+	var observer *obs.Observer
+	var traceFile *os.File
+	if *metrics || *tracePath != "" {
+		if *tracePath != "" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			traceFile = f
+			observer = obs.New(f)
+		} else {
+			observer = obs.New(nil)
+		}
+		cfg.Observer = observer
 	}
 	res, err := core.Replay(cfg)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	// Close errors are write errors for buffered data; unchecked, a full
+	// disk would silently truncate the schedule or trace.
+	if schedFile != nil {
+		if err := schedFile.Close(); err != nil {
+			fatalf("writing schedule: %v", err)
+		}
+	}
+	if err := observer.Close(); err != nil {
+		fatalf("writing trace: %v", err)
+	}
+	if traceFile != nil {
+		if err := traceFile.Close(); err != nil {
+			fatalf("writing trace: %v", err)
+		}
 	}
 
 	fmt.Printf("policy            %s\n", res.Policy)
@@ -125,6 +166,13 @@ func main() {
 	fmt.Printf("p95 response      %.1f s\n", res.P95Response)
 	fmt.Printf("mean slowdown     %.2f\n", res.MeanSlowdown)
 	fmt.Printf("max queue         %d\n", res.MaxQueue)
+	if *metrics {
+		fmt.Println()
+		fmt.Println("--- metrics ---")
+		if err := observer.WriteText(os.Stdout); err != nil {
+			fatalf("%v", err)
+		}
+	}
 }
 
 func fatalf(format string, args ...any) {

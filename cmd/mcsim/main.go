@@ -18,6 +18,7 @@ import (
 
 	"coalloc/internal/cluster"
 	"coalloc/internal/core"
+	"coalloc/internal/obs"
 	"coalloc/internal/workload"
 )
 
@@ -26,7 +27,7 @@ func main() {
 	limit := flag.Int("limit", 16, "job-component-size limit (16, 24 or 32 in the paper)")
 	util := flag.Float64("util", 0.5, "offered gross utilization")
 	jobs := flag.Int("jobs", 30000, "measured jobs")
-	warmup := flag.Int("warmup", 3000, "warmup jobs")
+	warmup := flag.Int("warmup", 3000, "warmup jobs (0 = no warmup, measure from time zero)")
 	seed := flag.Uint64("seed", 1, "random seed")
 	reps := flag.Int("reps", 1, "replications")
 	cap64 := flag.Bool("cap64", false, "use the DAS-s-64 size distribution (total sizes cut at 64)")
@@ -35,7 +36,16 @@ func main() {
 	fit := flag.String("fit", "WF", "placement rule: WF, FF or BF")
 	clusters := flag.String("clusters", "", "comma-separated cluster sizes (default 32,32,32,32; SC uses 128)")
 	backlog := flag.Bool("backlog", false, "run a constant-backlog (maximal utilization) simulation instead")
+	metrics := flag.Bool("metrics", false, "print a metrics summary block after the results")
+	tracePath := flag.String("trace", "", "write a JSONL event trace to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		if err := obs.StartPprof(*pprofAddr); err != nil {
+			fatalf("%v", err)
+		}
+	}
 
 	der := workload.DeriveDefault()
 	sizes := der.Sizes128
@@ -118,12 +128,38 @@ func main() {
 		ArrivalRate:  spec.ArrivalRateForGrossUtilization(*util, capacity),
 		QueueWeights: weights,
 		WarmupJobs:   *warmup,
+		NoWarmup:     *warmup == 0,
 		MeasureJobs:  *jobs,
 		Seed:         *seed,
+	}
+	var observer *obs.Observer
+	var traceFile *os.File
+	if *metrics || *tracePath != "" {
+		if *tracePath != "" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			traceFile = f
+			observer = obs.New(f)
+		} else {
+			observer = obs.New(nil)
+		}
+		cfg.Observer = observer
 	}
 	res, err := core.RunReplications(cfg, *reps)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	// Close errors are write errors for buffered data; unchecked, a full
+	// disk would silently truncate the trace.
+	if err := observer.Close(); err != nil {
+		fatalf("writing trace: %v", err)
+	}
+	if traceFile != nil {
+		if err := traceFile.Close(); err != nil {
+			fatalf("writing trace: %v", err)
+		}
 	}
 	fmt.Printf("policy              %s\n", res.Policy)
 	fmt.Printf("offered gross util  %.4f\n", res.OfferedGross)
@@ -143,6 +179,13 @@ func main() {
 	fmt.Printf("jobs measured       %d\n", res.Jobs)
 	fmt.Printf("queue at end        %d\n", res.FinalQueue)
 	fmt.Printf("saturated           %v\n", res.Saturated)
+	if *metrics {
+		fmt.Println()
+		fmt.Println("--- metrics ---")
+		if err := observer.WriteText(os.Stdout); err != nil {
+			fatalf("%v", err)
+		}
+	}
 }
 
 func formatUtils(us []float64) string {

@@ -36,17 +36,25 @@ func main() {
 		}
 		recs := dastrace.Generate(cfg)
 		w := os.Stdout
+		var f *os.File
 		if *out != "" {
-			f, err := os.Create(*out)
+			var err error
+			f, err = os.Create(*out)
 			if err != nil {
 				fatalf("%v", err)
 			}
-			defer f.Close()
 			w = f
 		}
 		header := fmt.Sprintf("Synthetic DAS1-like log\nJobs: %d\nSeed: %d\nMaxProcs: 128", cfg.NumJobs, cfg.Seed)
 		if err := dastrace.WriteSWF(w, recs, header); err != nil {
 			fatalf("%v", err)
+		}
+		// Close errors surface the write failures (full disk, quota) that
+		// only materialize when buffered data is flushed.
+		if f != nil {
+			if err := f.Close(); err != nil {
+				fatalf("%v", err)
+			}
 		}
 
 	case "stats":
@@ -88,16 +96,22 @@ func main() {
 		}
 		recs = dastrace.Renumber(recs)
 		w := os.Stdout
+		var f *os.File
 		if *out != "" {
-			f, err := os.Create(*out)
+			var err error
+			f, err = os.Create(*out)
 			if err != nil {
 				fatalf("%v", err)
 			}
-			defer f.Close()
 			w = f
 		}
 		if err := dastrace.WriteSWF(w, recs, fmt.Sprintf("Filtered log\nJobs: %d", len(recs))); err != nil {
 			fatalf("%v", err)
+		}
+		if f != nil {
+			if err := f.Close(); err != nil {
+				fatalf("%v", err)
+			}
 		}
 
 	default:

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"coalloc/internal/cluster"
+	"coalloc/internal/obs"
 	"coalloc/internal/policies"
 	"coalloc/internal/rng"
 	"coalloc/internal/sim"
@@ -168,6 +169,10 @@ var _ policies.Ctx = (*backlogSim)(nil)
 func (s *backlogSim) Cluster() *cluster.Multicluster { return s.m }
 
 func (s *backlogSim) Now() float64 { return s.eng.Now() }
+
+// Obs returns nil: backlog runs are short calibration sweeps with no
+// observability wiring.
+func (s *backlogSim) Obs() *obs.Observer { return nil }
 
 func (s *backlogSim) Dispatch(j *workload.Job, placement []int) {
 	now := s.eng.Now()

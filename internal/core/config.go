@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"coalloc/internal/cluster"
+	"coalloc/internal/obs"
 	"coalloc/internal/policies"
 	"coalloc/internal/workload"
 )
@@ -39,16 +40,26 @@ type Config struct {
 	// The paper's unbalanced case is {0.4, 0.2, 0.2, 0.2}.
 	QueueWeights []float64
 	// WarmupJobs is the number of departures discarded before
-	// measurement starts. Default 2000.
+	// measurement starts. Default 2000; set NoWarmup to measure from
+	// time zero instead (WarmupJobs == 0 alone means "use the default").
 	WarmupJobs int
+	// NoWarmup disables the warmup period entirely: measurement starts
+	// at virtual time zero, before the first arrival.
+	NoWarmup bool
 	// MeasureJobs is the number of measured departures. Default 20000.
 	MeasureJobs int
 	// Seed selects the random streams.
 	Seed uint64
+	// Observer, when non-nil, receives the run's metrics and (optionally)
+	// its JSONL event trace. An Observer is single-threaded: attaching
+	// one makes RunReplications execute its replications serially.
+	Observer *obs.Observer
 }
 
 func (c *Config) applyDefaults() {
-	if c.WarmupJobs == 0 {
+	if c.NoWarmup {
+		c.WarmupJobs = 0
+	} else if c.WarmupJobs == 0 {
 		c.WarmupJobs = 2000
 	}
 	if c.MeasureJobs == 0 {

@@ -10,6 +10,7 @@ import (
 
 	"coalloc/internal/cluster"
 	"coalloc/internal/dastrace"
+	"coalloc/internal/obs"
 	"coalloc/internal/policies"
 	"coalloc/internal/rng"
 	"coalloc/internal/sim"
@@ -53,6 +54,9 @@ type ReplayConfig struct {
 	// job: id,size,components,arrival,start,finish,clusters — the data
 	// for a Gantt-style visualization of the replayed schedule.
 	ScheduleWriter io.Writer
+	// Observer, when non-nil, receives the replay's metrics and
+	// (optionally) its JSONL event trace.
+	Observer *obs.Observer
 }
 
 // ReplayResult reports the metrics of a finite replay run.
@@ -184,16 +188,28 @@ func Replay(cfg ReplayConfig) (ReplayResult, error) {
 		},
 		busy: &busy,
 		pol:  pol,
+		obs:  cfg.Observer,
 	}
 	rs.onArrive = func(j *workload.Job) {
 		j.ArrivalTime = eng.Now()
 		j.Queue = route()
+		rs.obs.Arrival(j.ArrivalTime, j.ID, j.TotalSize, j.Components, j.Queue)
 		pol.Submit(rs, j)
 		if q := pol.Queued(); q > maxQueue {
 			maxQueue = q
 		}
+		if rs.obs != nil {
+			rs.obs.QueueDepth(pol.Queued())
+		}
 	}
 	eng.SetHandler(rs.handleEvent)
+	if cfg.Observer != nil {
+		eng.SetObserver(cfg.Observer)
+		cfg.Observer.SetClock(eng.Now)
+		if setter, ok := pol.(policies.ObserverSetter); ok {
+			setter.SetObserver(cfg.Observer)
+		}
+	}
 
 	// Jobs are pre-built during setup; the arrival event carries the job
 	// pointer and only stamps the arrival-time-dependent fields when it
@@ -217,6 +233,7 @@ func Replay(cfg ReplayConfig) (ReplayResult, error) {
 		eng.Schedule(at, evArrival, j)
 	}
 	eng.Run()
+	eng.ReportStats()
 
 	if q := pol.Queued(); q > 0 {
 		return ReplayResult{}, fmt.Errorf("core: replay ended with %d jobs stuck in queue", q)
@@ -258,6 +275,7 @@ type replaySim struct {
 	m          *cluster.Multicluster
 	pol        policies.Policy
 	busy       *stats.TimeWeighted
+	obs        *obs.Observer
 	onDispatch func(*workload.Job)
 	onArrive   func(*workload.Job)
 	onDepart   func(*workload.Job)
@@ -269,12 +287,15 @@ func (s *replaySim) Cluster() *cluster.Multicluster { return s.m }
 
 func (s *replaySim) Now() float64 { return s.eng.Now() }
 
+func (s *replaySim) Obs() *obs.Observer { return s.obs }
+
 func (s *replaySim) Dispatch(j *workload.Job, placement []int) {
 	now := s.eng.Now()
 	j.StartTime = now
 	j.Placement = placement
 	s.m.Alloc(j.Components, placement)
 	s.busy.Set(now, float64(s.m.Busy()))
+	s.obs.Start(now, j.ID, now-j.ArrivalTime, placement)
 	s.onDispatch(j)
 	s.eng.ScheduleAfter(j.ExtendedServiceTime, evDeparture, j)
 }
@@ -288,6 +309,7 @@ func (s *replaySim) handleEvent(kind int32, payload any) {
 	case evDeparture:
 		t := s.eng.Now()
 		j.FinishTime = t
+		s.obs.Departure(t, j.ID, j.ResponseTime())
 		s.m.Release(j.Components, j.Placement)
 		s.busy.Set(t, float64(s.m.Busy()))
 		s.onDepart(j)

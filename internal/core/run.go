@@ -6,6 +6,7 @@ import (
 
 	"coalloc/internal/cluster"
 	"coalloc/internal/dist"
+	"coalloc/internal/obs"
 	"coalloc/internal/policies"
 	"coalloc/internal/rng"
 	"coalloc/internal/sim"
@@ -28,6 +29,7 @@ type simulation struct {
 	m    *cluster.Multicluster
 	pol  policies.Policy
 	spec workload.Spec
+	obs  *obs.Observer
 
 	arrivalRate float64
 	reqType     workload.RequestType
@@ -69,6 +71,10 @@ func (s *simulation) Cluster() *cluster.Multicluster { return s.m }
 // Now returns the current virtual time (policies.Ctx).
 func (s *simulation) Now() float64 { return s.eng.Now() }
 
+// Obs returns the run observer, nil when observability is off
+// (policies.Ctx).
+func (s *simulation) Obs() *obs.Observer { return s.obs }
+
 // Dispatch allocates the placement and schedules the departure
 // (policies.Ctx).
 func (s *simulation) Dispatch(j *workload.Job, placement []int) {
@@ -89,6 +95,7 @@ func (s *simulation) Dispatch(j *workload.Job, placement []int) {
 		s.grossWork += float64(j.TotalSize) * j.ExtendedServiceTime
 		s.netWork += float64(j.TotalSize) * j.ServiceTime
 	}
+	s.obs.Start(now, j.ID, now-j.ArrivalTime, placement)
 	s.eng.ScheduleAfter(j.ExtendedServiceTime, evDeparture, j)
 }
 
@@ -109,6 +116,7 @@ func (s *simulation) handleEvent(kind int32, payload any) {
 func (s *simulation) depart(j *workload.Job) {
 	now := s.eng.Now()
 	j.FinishTime = now
+	s.obs.Departure(now, j.ID, j.ResponseTime())
 	s.m.Release(j.Components, j.Placement)
 	s.busy.Set(now, float64(s.m.Busy()))
 	for i, c := range j.Placement {
@@ -136,6 +144,9 @@ func (s *simulation) depart(j *workload.Job) {
 		return
 	}
 	s.pol.JobDeparted(s, j)
+	if s.obs != nil {
+		s.obs.QueueDepth(s.pol.Queued())
+	}
 }
 
 // startMeasuring resets all accumulators at the end of the warmup period.
@@ -182,8 +193,12 @@ func (s *simulation) arrive() {
 	j.ID = s.nextID
 	j.ArrivalTime = now
 	j.Queue = s.routeQueue()
+	s.obs.Arrival(now, j.ID, j.TotalSize, j.Components, j.Queue)
 	s.inSystem.Add(now, 1)
 	s.pol.Submit(s, j)
+	if s.obs != nil {
+		s.obs.QueueDepth(s.pol.Queued())
+	}
 	s.eng.ScheduleAfter(s.arrivals.Exp(s.arrivalRate), evArrival, nil)
 }
 
@@ -237,6 +252,14 @@ func newSimulation(cfg Config) (*simulation, error) {
 		quantiles:   stats.NewQuantileSet(),
 	}
 	s.eng.SetHandler(s.handleEvent)
+	if cfg.Observer != nil {
+		s.obs = cfg.Observer
+		s.eng.SetObserver(s.obs)
+		s.obs.SetClock(s.eng.Now)
+		if setter, ok := pol.(policies.ObserverSetter); ok {
+			setter.SetObserver(s.obs)
+		}
+	}
 	return s, nil
 }
 
@@ -248,8 +271,16 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	s.busy.StartAt(0, 0)
+	if s.warmupJobs == 0 {
+		// No warmup: measure from time zero. Without this, measurement
+		// would only begin at the first departure (startMeasuring is
+		// otherwise reached from depart), silently dropping the first
+		// job and skewing every time-weighted average.
+		s.startMeasuring(0)
+	}
 	s.eng.ScheduleAfter(s.arrivals.Exp(s.arrivalRate), evArrival, nil)
 	s.eng.Run()
+	s.eng.ReportStats()
 
 	now := s.eng.Now()
 	window := now - s.measureFrom
@@ -345,11 +376,21 @@ func RunReplications(cfg Config, n int) (Result, error) {
 	}
 	results := make([]Result, n)
 	errs := make([]error, n)
-	workpool.Do(n, func(i int) {
+	runOne := func(i int) {
 		c := cfg
 		c.Seed = cfg.Seed + uint64(i)*1000003
 		results[i], errs[i] = Run(c)
-	})
+	}
+	if cfg.Observer != nil {
+		// An Observer is single-threaded and its trace must be a
+		// deterministic, byte-identical record of the event order:
+		// observed replications run serially, in seed order.
+		for i := 0; i < n; i++ {
+			runOne(i)
+		}
+	} else {
+		workpool.Do(n, runOne)
+	}
 	for _, err := range errs {
 		if err != nil {
 			return Result{}, err

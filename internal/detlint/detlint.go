@@ -73,6 +73,7 @@ var DeterministicPackages = []string{
 	"internal/dastrace",
 	"internal/dist",
 	"internal/experiments",
+	"internal/obs",
 	"internal/plot",
 	"internal/policies",
 	"internal/queues",

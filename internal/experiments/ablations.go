@@ -26,7 +26,7 @@ func ReqTypes(e *Env) (string, error) {
 	var panel []plot.Series
 	for _, rt := range []workload.RequestType{workload.Unordered, workload.Ordered, workload.Flexible} {
 		rt := rt
-		results, err := runPoints(e.Utilizations, func(u float64) (core.Result, error) {
+		results, err := e.sweep(rt.String(), e.Utilizations, func(u float64) (core.Result, error) {
 			return e.pointTyped(CurveSpec{
 				Policy:       "GS",
 				ClusterSizes: MulticlusterSizes,
@@ -80,6 +80,7 @@ func (e *Env) pointTyped(cs CurveSpec, rt workload.RequestType, util float64) (c
 		WarmupJobs:   e.WarmupJobs,
 		MeasureJobs:  e.MeasureJobs,
 		Seed:         e.Seed,
+		Observer:     e.Observer,
 	}
 	return core.RunReplications(cfg, e.Replications)
 }

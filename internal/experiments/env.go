@@ -6,6 +6,7 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
@@ -13,6 +14,7 @@ import (
 	"coalloc/internal/cluster"
 	"coalloc/internal/core"
 	"coalloc/internal/dist"
+	"coalloc/internal/obs"
 	"coalloc/internal/plot"
 	"coalloc/internal/workload"
 )
@@ -45,6 +47,14 @@ type Params struct {
 	BacklogWarmup, BacklogMeasure float64
 	// DataDir, when non-empty, receives one CSV file per experiment.
 	DataDir string
+	// Progress, when non-nil, receives one line per completed sweep
+	// point — the long sweeps behind the figures otherwise run for
+	// minutes with no output.
+	Progress io.Writer
+	// Observer, when non-nil, receives the metrics (and optional trace)
+	// of every simulation run. An Observer is single-threaded, so sweeps
+	// and replications then execute serially, in deterministic order.
+	Observer *obs.Observer
 }
 
 // DefaultParams returns publication-fidelity settings.
@@ -135,7 +145,7 @@ type CurveSpec struct {
 // saturated point or once the response cap is exceeded, as in the paper's
 // plots.
 func (e *Env) Curve(cs CurveSpec) (plot.Series, error) {
-	results, err := runPoints(e.Utilizations, func(u float64) (core.Result, error) {
+	results, err := e.sweep(cs.Label, e.Utilizations, func(u float64) (core.Result, error) {
 		return e.point(cs, u)
 	})
 	if err != nil {
@@ -157,7 +167,7 @@ func (e *Env) Curve(cs CurveSpec) (plot.Series, error) {
 func (e *Env) CurveNet(cs CurveSpec) (gross, net plot.Series, err error) {
 	gross = plot.Series{Name: cs.Label + " gross"}
 	net = plot.Series{Name: cs.Label + " net"}
-	results, err := runPoints(e.Utilizations, func(u float64) (core.Result, error) {
+	results, err := e.sweep(cs.Label, e.Utilizations, func(u float64) (core.Result, error) {
 		return e.point(cs, u)
 	})
 	if err != nil {
@@ -193,6 +203,7 @@ func (e *Env) point(cs CurveSpec, util float64) (core.Result, error) {
 		WarmupJobs:   e.WarmupJobs,
 		MeasureJobs:  e.MeasureJobs,
 		Seed:         e.Seed,
+		Observer:     e.Observer,
 	}
 	return core.RunReplications(cfg, e.Replications)
 }
@@ -209,8 +220,13 @@ func (e *Env) SaveCSV(name string, series []plot.Series) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return plot.WriteCSV(f, series)
+	if err := plot.WriteCSV(f, series); err != nil {
+		f.Close()
+		return err
+	}
+	// The Close error is the write error for buffered file data: dropping
+	// it can silently truncate the CSV (full disk, quota).
+	return f.Close()
 }
 
 // standardCurves returns the four policy curves of Fig. 3 for one

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"coalloc/internal/core"
@@ -54,6 +56,50 @@ func runPoints(grid []float64, fn func(util float64) (core.Result, error)) ([]co
 		}
 		out = append(out, results[i])
 		if results[i].Saturated {
+			break
+		}
+	}
+	return out, nil
+}
+
+// sweep runs one labelled curve sweep over the grid. Without an Observer
+// the points fan out over the shared workpool (runPoints); with one they
+// run serially in grid order, because an Observer — and its trace — is
+// single-threaded. Progress, when configured, receives one line per
+// completed point; completion order is arrival order in the parallel case.
+func (e *Env) sweep(label string, grid []float64, fn func(util float64) (core.Result, error)) ([]core.Result, error) {
+	run := fn
+	if e.Progress != nil {
+		var mu sync.Mutex
+		done := 0
+		run = func(u float64) (core.Result, error) {
+			res, err := fn(u)
+			mu.Lock()
+			done++
+			switch {
+			case err != nil:
+				fmt.Fprintf(e.Progress, "%s: util %.2f failed: %v\n", label, u, err)
+			case res.Saturated:
+				fmt.Fprintf(e.Progress, "%s: util %.2f saturated (%d/%d points)\n", label, u, done, len(grid))
+			default:
+				fmt.Fprintf(e.Progress, "%s: util %.2f -> response %.0f s (%d/%d points)\n",
+					label, u, res.MeanResponse, done, len(grid))
+			}
+			mu.Unlock()
+			return res, err
+		}
+	}
+	if e.Observer == nil {
+		return runPoints(grid, run)
+	}
+	var out []core.Result
+	for _, u := range grid {
+		res, err := run(u)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+		if res.Saturated {
 			break
 		}
 	}

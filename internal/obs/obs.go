@@ -1,0 +1,227 @@
+package obs
+
+import "io"
+
+// Observer is one run's observability hub. Every method is safe on a nil
+// receiver and does nothing, so simulation code reports unconditionally
+// cheap events through nil-safe calls and guards composite reporting
+// blocks with a plain `if o != nil` — the disabled path costs one pointer
+// compare, allocates nothing, and makes no interface calls.
+//
+// An Observer is single-threaded, like the simulation run it belongs to.
+// Code that runs many simulations against one Observer must run them
+// serially (see core.RunReplications and the experiment sweeps).
+type Observer struct {
+	// Metrics is the run's registry; read it after the run for the
+	// summary block, or register additional metrics before it.
+	Metrics *Metrics
+
+	trace *Trace
+	clock func() float64
+
+	arrivals   *Counter
+	starts     *Counter
+	departures *Counter
+
+	passes      *Counter
+	headMisses  *Counter
+	bfAttempts  *Counter
+	bfSuccesses *Counter
+	qDisables   *Counter
+	qEnables    *Counter
+
+	engEvents    *Counter
+	engScheduled *Counter
+	arenaSlots   *Gauge
+	poolHitRate  *Gauge
+	queueDepth   *Gauge
+
+	wait *Timer
+	resp *Timer
+}
+
+// New returns an Observer with a fresh metrics registry. trace, when
+// non-nil, receives the JSONL event trace; pass nil for metrics only.
+func New(trace io.Writer) *Observer {
+	m := NewMetrics()
+	o := &Observer{
+		Metrics:      m,
+		arrivals:     m.Counter("jobs.arrivals"),
+		starts:       m.Counter("jobs.starts"),
+		departures:   m.Counter("jobs.departures"),
+		passes:       m.Counter("sched.passes"),
+		headMisses:   m.Counter("sched.head_misses"),
+		bfAttempts:   m.Counter("sched.backfill.attempts"),
+		bfSuccesses:  m.Counter("sched.backfill.successes"),
+		qDisables:    m.Counter("queues.disables"),
+		qEnables:     m.Counter("queues.enables"),
+		engEvents:    m.Counter("sim.events"),
+		engScheduled: m.Counter("sim.scheduled"),
+		arenaSlots:   m.Gauge("sim.pool.arena_slots"),
+		poolHitRate:  m.Gauge("sim.pool.hit_rate"),
+		queueDepth:   m.Gauge("queues.depth"),
+		wait:         m.Timer("jobs.wait"),
+		resp:         m.Timer("jobs.response"),
+	}
+	if trace != nil {
+		o.trace = NewTrace(trace)
+	}
+	return o
+}
+
+// SetClock installs the virtual-clock reader used to timestamp trace
+// records that are reported without an explicit time (queue
+// enable/disable transitions). The simulation wires the engine's Now here.
+func (o *Observer) SetClock(now func() float64) {
+	if o == nil {
+		return
+	}
+	o.clock = now
+}
+
+// now reads the virtual clock, or 0 before SetClock.
+func (o *Observer) now() float64 {
+	if o.clock == nil {
+		return 0
+	}
+	return o.clock()
+}
+
+// Arrival records a job arrival: counter, and trace record when tracing.
+func (o *Observer) Arrival(at float64, job int64, size int, comps []int, queue int) {
+	if o == nil {
+		return
+	}
+	o.arrivals.Inc()
+	if o.trace != nil {
+		o.trace.Arrive(at, job, size, comps, queue)
+	}
+}
+
+// Start records a job start (dispatch) with its placement; wait is the
+// queueing delay, observed into the jobs.wait timer histogram.
+func (o *Observer) Start(at float64, job int64, wait float64, place []int) {
+	if o == nil {
+		return
+	}
+	o.starts.Inc()
+	o.wait.Observe(wait)
+	if o.trace != nil {
+		o.trace.Start(at, job, wait, place)
+	}
+}
+
+// Departure records a job departure with its response time.
+func (o *Observer) Departure(at float64, job int64, resp float64) {
+	if o == nil {
+		return
+	}
+	o.departures.Inc()
+	o.resp.Observe(resp)
+	if o.trace != nil {
+		o.trace.Depart(at, job, resp)
+	}
+}
+
+// Pass records one scheduling opportunity (a policy Submit/JobDeparted
+// scheduling pass).
+func (o *Observer) Pass() {
+	if o == nil {
+		return
+	}
+	o.passes.Inc()
+}
+
+// HeadMiss records a head-of-queue job that did not fit (the FCFS
+// blocking event; for multi-queue policies the queue is then disabled).
+func (o *Observer) HeadMiss(queue int) {
+	if o == nil {
+		return
+	}
+	o.headMisses.Inc()
+}
+
+// BackfillAttempt records one backfill candidate evaluation.
+func (o *Observer) BackfillAttempt() {
+	if o == nil {
+		return
+	}
+	o.bfAttempts.Inc()
+}
+
+// BackfillSuccess records a backfill candidate actually started.
+func (o *Observer) BackfillSuccess() {
+	if o == nil {
+		return
+	}
+	o.bfSuccesses.Inc()
+}
+
+// QueueDisabled records a queue leaving the scheduling visit order. The
+// trace record is timestamped from the observer's clock.
+func (o *Observer) QueueDisabled(queue int) {
+	if o == nil {
+		return
+	}
+	o.qDisables.Inc()
+	if o.trace != nil {
+		o.trace.Disable(o.now(), queue)
+	}
+}
+
+// QueueEnabled records a queue rejoining the scheduling visit order.
+func (o *Observer) QueueEnabled(queue int) {
+	if o == nil {
+		return
+	}
+	o.qEnables.Inc()
+	if o.trace != nil {
+		o.trace.Enable(o.now(), queue)
+	}
+}
+
+// QueueDepth samples the number of waiting jobs; the gauge keeps the last
+// and the maximum sample.
+func (o *Observer) QueueDepth(n int) {
+	if o == nil {
+		return
+	}
+	o.queueDepth.Set(float64(n))
+}
+
+// EngineStats records the event kernel's lifetime counters at the end of
+// a run: events executed, events scheduled, and the slot-arena size. The
+// pool hit rate is the fraction of scheduled events served by a recycled
+// slot — 1 - arena/scheduled — the steady-state pooling indicator.
+func (o *Observer) EngineStats(steps, scheduled uint64, arenaSlots int) {
+	if o == nil {
+		return
+	}
+	o.engEvents.Add(steps)
+	o.engScheduled.Add(scheduled)
+	o.arenaSlots.Set(float64(arenaSlots))
+	if scheduled > 0 {
+		o.poolHitRate.Set(1 - float64(arenaSlots)/float64(scheduled))
+	}
+}
+
+// Flush writes out any buffered trace records and returns the first trace
+// error. It is a no-op without a trace sink.
+func (o *Observer) Flush() error {
+	if o == nil || o.trace == nil {
+		return nil
+	}
+	return o.trace.Flush()
+}
+
+// Close flushes the trace. The underlying writer (a file, usually) is
+// owned and closed by the caller, whose Close error must also be checked.
+func (o *Observer) Close() error { return o.Flush() }
+
+// WriteText renders the metrics summary block (sorted, deterministic).
+func (o *Observer) WriteText(w io.Writer) error {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.WriteText(w)
+}

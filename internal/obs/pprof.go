@@ -1,0 +1,24 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers the /debug/pprof handlers
+)
+
+// StartPprof serves the net/http/pprof handlers on addr (for example
+// "localhost:6060"). The listener is opened synchronously so bind errors
+// surface immediately; serving then proceeds on a background goroutine for
+// the life of the process. Used by the CLIs' -pprof flag.
+func StartPprof(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	go func() {
+		// The server runs until process exit; Serve only returns on
+		// listener failure, which has no one left to report to.
+		_ = http.Serve(ln, nil)
+	}()
+	return nil
+}

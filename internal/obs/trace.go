@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// Trace is the structured JSONL event sink: one JSON object per line,
+// keyed by virtual time and job ID. The encoder is hand-rolled — fields
+// are emitted in a fixed order with shortest-roundtrip float formatting —
+// so that two runs of the same seed produce byte-identical traces, which
+// the tests pin.
+//
+// Record shapes (all times are virtual seconds):
+//
+//	{"t":0,"ev":"arrive","job":1,"size":16,"comps":[16],"queue":0}
+//	{"t":0,"ev":"start","job":1,"wait":0,"place":[2]}
+//	{"t":276.5,"ev":"depart","job":1,"resp":276.5}
+//	{"t":276.5,"ev":"disable","queue":1}
+//	{"t":300,"ev":"enable","queue":1}
+//
+// Write errors are sticky: the first error is remembered, later records
+// are dropped, and Flush (or Observer.Close) reports it — a full disk
+// cannot silently truncate a trace.
+type Trace struct {
+	w   *bufio.Writer
+	buf []byte
+	err error
+}
+
+// NewTrace returns a trace sink writing JSONL records to w.
+func NewTrace(w io.Writer) *Trace {
+	return &Trace{w: bufio.NewWriter(w), buf: make([]byte, 0, 128)}
+}
+
+// Flush writes out buffered records and returns the first error seen.
+func (t *Trace) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	t.err = t.w.Flush()
+	return t.err
+}
+
+// Err returns the first write error, if any.
+func (t *Trace) Err() error { return t.err }
+
+// emit terminates the current record and hands it to the writer.
+func (t *Trace) emit() {
+	if t.err != nil {
+		return
+	}
+	t.buf = append(t.buf, '}', '\n')
+	if _, err := t.w.Write(t.buf); err != nil {
+		t.err = err
+	}
+}
+
+// begin starts a record with its time and event tag.
+func (t *Trace) begin(at float64, ev string) {
+	t.buf = append(t.buf[:0], `{"t":`...)
+	t.buf = strconv.AppendFloat(t.buf, at, 'g', -1, 64)
+	t.buf = append(t.buf, `,"ev":"`...)
+	t.buf = append(t.buf, ev...)
+	t.buf = append(t.buf, '"')
+}
+
+func (t *Trace) fieldInt(name string, v int64) {
+	t.buf = append(t.buf, ',', '"')
+	t.buf = append(t.buf, name...)
+	t.buf = append(t.buf, '"', ':')
+	t.buf = strconv.AppendInt(t.buf, v, 10)
+}
+
+func (t *Trace) fieldFloat(name string, v float64) {
+	t.buf = append(t.buf, ',', '"')
+	t.buf = append(t.buf, name...)
+	t.buf = append(t.buf, '"', ':')
+	t.buf = strconv.AppendFloat(t.buf, v, 'g', -1, 64)
+}
+
+func (t *Trace) fieldInts(name string, vs []int) {
+	t.buf = append(t.buf, ',', '"')
+	t.buf = append(t.buf, name...)
+	t.buf = append(t.buf, '"', ':', '[')
+	for i, v := range vs {
+		if i > 0 {
+			t.buf = append(t.buf, ',')
+		}
+		t.buf = strconv.AppendInt(t.buf, int64(v), 10)
+	}
+	t.buf = append(t.buf, ']')
+}
+
+// Arrive records a job arrival.
+func (t *Trace) Arrive(at float64, job int64, size int, comps []int, queue int) {
+	t.begin(at, "arrive")
+	t.fieldInt("job", job)
+	t.fieldInt("size", int64(size))
+	t.fieldInts("comps", comps)
+	t.fieldInt("queue", int64(queue))
+	t.emit()
+}
+
+// Start records a job start with its placement and queueing delay.
+func (t *Trace) Start(at float64, job int64, wait float64, place []int) {
+	t.begin(at, "start")
+	t.fieldInt("job", job)
+	t.fieldFloat("wait", wait)
+	t.fieldInts("place", place)
+	t.emit()
+}
+
+// Depart records a job departure with its response time.
+func (t *Trace) Depart(at float64, job int64, resp float64) {
+	t.begin(at, "depart")
+	t.fieldInt("job", job)
+	t.fieldFloat("resp", resp)
+	t.emit()
+}
+
+// Disable records a queue leaving the scheduling visit order (its head did
+// not fit).
+func (t *Trace) Disable(at float64, queue int) {
+	t.begin(at, "disable")
+	t.fieldInt("queue", int64(queue))
+	t.emit()
+}
+
+// Enable records a queue rejoining the scheduling visit order.
+func (t *Trace) Enable(at float64, queue int) {
+	t.begin(at, "enable")
+	t.fieldInt("queue", int64(queue))
+	t.emit()
+}

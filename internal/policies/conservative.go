@@ -133,11 +133,16 @@ func (p *Conservative) pass(ctx Ctx) {
 	}
 	m := ctx.Cluster()
 	now := ctx.Now()
+	o := ctx.Obs()
+	o.Pass()
 	prof := p.passProfile(m, now)
 	var started []*workload.Job
 	p.q.ForEachWaiting(func(idx int, j *workload.Job) bool {
 		if idx >= reservationCap {
 			return false
+		}
+		if idx > 0 {
+			o.BackfillAttempt()
 		}
 		t, placement := prof.earliestStart(j.Components, j.ExtendedServiceTime, p.fit)
 		if math.IsInf(t, 1) {
@@ -146,7 +151,13 @@ func (p *Conservative) pass(ctx Ctx) {
 			return true
 		}
 		prof.reserve(j.Components, placement, t, j.ExtendedServiceTime)
+		if idx == 0 && t > now {
+			o.HeadMiss(workload.GlobalQueue)
+		}
 		if t == now {
+			if idx > 0 {
+				o.BackfillSuccess()
+			}
 			ctx.Dispatch(j, placement)
 			p.running = append(p.running, runInfo{
 				job:       j,

@@ -92,6 +92,8 @@ func (p *EASY) start(ctx Ctx, j *workload.Job, placement []int) {
 // head without delaying its reservation.
 func (p *EASY) pass(ctx Ctx) {
 	m := ctx.Cluster()
+	o := ctx.Obs()
+	o.Pass()
 	// Phase 1: plain FCFS starts from the head.
 	for {
 		head := p.q.Head()
@@ -100,6 +102,7 @@ func (p *EASY) pass(ctx Ctx) {
 		}
 		placement, ok := m.Place(head.Components, p.fit)
 		if !ok {
+			o.HeadMiss(workload.GlobalQueue)
 			break
 		}
 		p.q.Pop()
@@ -120,6 +123,7 @@ func (p *EASY) pass(ctx Ctx) {
 		if idx == 0 {
 			return true // the head itself
 		}
+		o.BackfillAttempt()
 		placement, ok := m.Place(j.Components, p.fit)
 		if !ok {
 			return true
@@ -140,6 +144,7 @@ func (p *EASY) pass(ctx Ctx) {
 		// Start j for real: the processors are already allocated, so
 		// dispatch must not allocate again — start via dispatchHeld.
 		p.dispatchHeld(ctx, j, placement)
+		o.BackfillSuccess()
 		started = append(started, j)
 		return true
 	})

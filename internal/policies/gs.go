@@ -43,6 +43,8 @@ func (p *GS) JobDeparted(ctx Ctx, _ *workload.Job) { p.pass(ctx) }
 // pass starts jobs from the head of the queue while they fit.
 func (p *GS) pass(ctx Ctx) {
 	m := ctx.Cluster()
+	o := ctx.Obs()
+	o.Pass()
 	for {
 		head := p.q.Head()
 		if head == nil {
@@ -50,6 +52,7 @@ func (p *GS) pass(ctx Ctx) {
 		}
 		placement, ok := p.placeFor(m, head)
 		if !ok {
+			o.HeadMiss(workload.GlobalQueue)
 			return
 		}
 		p.q.Pop()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"coalloc/internal/cluster"
+	"coalloc/internal/obs"
 	"coalloc/internal/queues"
 	"coalloc/internal/workload"
 )
@@ -43,6 +44,11 @@ func NewLP(clusters int, fit cluster.Fit) *LP {
 // Name returns "LP".
 func (p *LP) Name() string { return "LP" }
 
+// SetObserver wires the run observer into the local-queue enable/disable
+// bookkeeping (policies.ObserverSetter). Global-queue transitions are
+// reported from the pass itself.
+func (p *LP) SetObserver(o *obs.Observer) { p.set.SetObserver(o) }
+
 // Submit routes multi-component jobs to the global queue and
 // single-component jobs to their local queue, then runs a scheduling pass.
 func (p *LP) Submit(ctx Ctx, j *workload.Job) {
@@ -61,6 +67,9 @@ func (p *LP) Submit(ctx Ctx, j *workload.Job) {
 // JobDeparted re-enables the queues (global first, per the paper) and runs
 // a pass.
 func (p *LP) JobDeparted(ctx Ctx, _ *workload.Job) {
+	if !p.globalEnabled {
+		ctx.Obs().QueueEnabled(workload.GlobalQueue)
+	}
 	p.globalEnabled = true
 	p.set.EnableAll()
 	p.pass(ctx)
@@ -81,6 +90,8 @@ func (p *LP) anyLocalEmpty() bool {
 // queues, in rounds, until a full round starts nothing.
 func (p *LP) pass(ctx Ctx) {
 	m := ctx.Cluster()
+	o := ctx.Obs()
+	o.Pass()
 	round := make([]int, 0, len(p.locals))
 	for {
 		progress := false
@@ -95,6 +106,8 @@ func (p *LP) pass(ctx Ctx) {
 					progress = true
 				} else {
 					p.globalEnabled = false
+					o.HeadMiss(workload.GlobalQueue)
+					o.QueueDisabled(workload.GlobalQueue)
 				}
 			}
 		}
@@ -109,6 +122,7 @@ func (p *LP) pass(ctx Ctx) {
 				ctx.Dispatch(head, []int{q})
 				progress = true
 			} else {
+				o.HeadMiss(q)
 				p.set.Disable(q)
 			}
 		}

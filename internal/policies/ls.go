@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"coalloc/internal/cluster"
+	"coalloc/internal/obs"
 	"coalloc/internal/queues"
 	"coalloc/internal/workload"
 )
@@ -51,6 +52,10 @@ func NewLSSortedReenable(clusters int, fit cluster.Fit) *LS {
 // Name returns "LS".
 func (p *LS) Name() string { return "LS" }
 
+// SetObserver wires the run observer into the enable/disable bookkeeping
+// (policies.ObserverSetter).
+func (p *LS) SetObserver(o *obs.Observer) { p.set.SetObserver(o) }
+
 // Submit enqueues the job at its local queue and runs a scheduling pass.
 // The job's Queue field must name a valid local queue.
 func (p *LS) Submit(ctx Ctx, j *workload.Job) {
@@ -76,6 +81,8 @@ func (p *LS) JobDeparted(ctx Ctx, _ *workload.Job) {
 // queue per round, until a full round starts nothing.
 func (p *LS) pass(ctx Ctx) {
 	m := ctx.Cluster()
+	o := ctx.Obs()
+	o.Pass()
 	round := make([]int, 0, len(p.qs))
 	for {
 		progress := false
@@ -88,6 +95,7 @@ func (p *LS) pass(ctx Ctx) {
 			}
 			placement, ok := p.place(m, head, q)
 			if !ok {
+				o.HeadMiss(q)
 				p.set.Disable(q)
 				continue
 			}

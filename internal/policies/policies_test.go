@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"coalloc/internal/cluster"
+	"coalloc/internal/obs"
 	"coalloc/internal/workload"
 )
 
@@ -12,6 +13,7 @@ type mockCtx struct {
 	m          *cluster.Multicluster
 	dispatched []*workload.Job
 	now        float64
+	obs        *obs.Observer
 }
 
 func newMockCtx(sizes ...int) *mockCtx {
@@ -24,6 +26,8 @@ func newMockCtx(sizes ...int) *mockCtx {
 func (c *mockCtx) Cluster() *cluster.Multicluster { return c.m }
 
 func (c *mockCtx) Now() float64 { return c.now }
+
+func (c *mockCtx) Obs() *obs.Observer { return c.obs }
 
 func (c *mockCtx) Dispatch(j *workload.Job, placement []int) {
 	c.m.Alloc(j.Components, placement)

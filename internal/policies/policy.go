@@ -11,6 +11,7 @@ package policies
 
 import (
 	"coalloc/internal/cluster"
+	"coalloc/internal/obs"
 	"coalloc/internal/workload"
 )
 
@@ -24,6 +25,18 @@ type Ctx interface {
 	Now() float64
 	// Dispatch starts the job on the given placement now.
 	Dispatch(j *workload.Job, placement []int)
+	// Obs returns the run's observer, or nil when observability is off.
+	// Policies report scheduling passes, head-of-queue misses and
+	// backfill decisions into it; all observer methods are nil-safe.
+	Obs() *obs.Observer
+}
+
+// ObserverSetter is implemented by policies with internal state that
+// reports into the observer directly (the enable/disable bookkeeping of
+// LS and LP). The simulator wires the run observer through it after
+// building the policy.
+type ObserverSetter interface {
+	SetObserver(o *obs.Observer)
 }
 
 // Policy is a co-allocation scheduling policy. Implementations are not safe

@@ -48,10 +48,13 @@ func (p *SPF) JobDeparted(ctx Ctx, _ *workload.Job) { p.pass(ctx) }
 // pass starts the shortest jobs while they fit.
 func (p *SPF) pass(ctx Ctx) {
 	m := ctx.Cluster()
+	o := ctx.Obs()
+	o.Pass()
 	for len(p.jobs) > 0 {
 		head := p.jobs[0]
 		placement, ok := m.Place(head.Components, p.fit)
 		if !ok {
+			o.HeadMiss(workload.GlobalQueue)
 			return
 		}
 		p.jobs = p.jobs[1:]

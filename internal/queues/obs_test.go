@@ -1,0 +1,58 @@
+package queues
+
+import (
+	"testing"
+
+	"coalloc/internal/obs"
+)
+
+// TestEnableSetObserver checks that every disable and enable transition is
+// reported exactly once, including the sorted-reset ablation path, and that
+// redundant Disable calls on an already-disabled queue stay silent.
+func TestEnableSetObserver(t *testing.T) {
+	o := obs.New(nil)
+	s := NewEnableSet(4)
+	s.SetObserver(o)
+	dis := o.Metrics.Counter("queues.disables")
+	en := o.Metrics.Counter("queues.enables")
+
+	s.Disable(2)
+	s.Disable(0)
+	s.Disable(2) // already disabled: no transition, no report
+	if dis.Value() != 2 {
+		t.Fatalf("disables = %d, want 2", dis.Value())
+	}
+	if en.Value() != 0 {
+		t.Fatalf("enables = %d, want 0", en.Value())
+	}
+
+	s.EnableAll()
+	if en.Value() != 2 {
+		t.Fatalf("enables after EnableAll = %d, want 2", en.Value())
+	}
+
+	s.Disable(1)
+	s.Disable(3)
+	s.EnableAllSorted()
+	if dis.Value() != 4 || en.Value() != 4 {
+		t.Fatalf("after EnableAllSorted: disables/enables = %d/%d, want 4/4", dis.Value(), en.Value())
+	}
+	if !s.IsEnabled(1) || !s.IsEnabled(3) {
+		t.Fatal("EnableAllSorted left queues disabled")
+	}
+}
+
+// TestEnableSetNilObserver: an EnableSet without an observer (the default
+// everywhere outside observed runs) must behave identically.
+func TestEnableSetNilObserver(t *testing.T) {
+	s := NewEnableSet(3)
+	s.Disable(1)
+	s.EnableAll()
+	s.Disable(0)
+	s.EnableAllSorted()
+	for q := 0; q < 3; q++ {
+		if !s.IsEnabled(q) {
+			t.Fatalf("queue %d disabled after EnableAllSorted", q)
+		}
+	}
+}

@@ -8,6 +8,7 @@ package queues
 import (
 	"fmt"
 
+	"coalloc/internal/obs"
 	"coalloc/internal/workload"
 )
 
@@ -100,6 +101,7 @@ type EnableSet struct {
 	disabled []int // queue ids in the order they were disabled
 	state    []bool
 	n        int
+	obs      *obs.Observer
 }
 
 // NewEnableSet returns an EnableSet over queues 0..n-1, all enabled, with
@@ -115,6 +117,11 @@ func NewEnableSet(n int) *EnableSet {
 	}
 	return s
 }
+
+// SetObserver attaches a run observer: every enable/disable transition is
+// then counted and, when tracing, recorded with its virtual time. A nil
+// observer detaches.
+func (s *EnableSet) SetObserver(o *obs.Observer) { s.obs = o }
 
 // Enabled returns the enabled queue ids in visit order. The slice is the
 // set's internal state; callers must not retain it across mutations.
@@ -140,6 +147,7 @@ func (s *EnableSet) Disable(q int) {
 		}
 	}
 	s.disabled = append(s.disabled, q)
+	s.obs.QueueDisabled(q)
 }
 
 // EnableAll re-enables every disabled queue, appending them to the visit
@@ -149,6 +157,7 @@ func (s *EnableSet) EnableAll() {
 	for _, q := range s.disabled {
 		s.state[q] = true
 		s.enabled = append(s.enabled, q)
+		s.obs.QueueEnabled(q)
 	}
 	s.disabled = s.disabled[:0]
 }
@@ -157,6 +166,9 @@ func (s *EnableSet) EnableAll() {
 // 0..n-1, discarding the disable history. This is the ablation alternative
 // to the paper's disable-order rule.
 func (s *EnableSet) EnableAllSorted() {
+	for _, q := range s.disabled {
+		s.obs.QueueEnabled(q)
+	}
 	s.enabled = s.enabled[:0]
 	s.disabled = s.disabled[:0]
 	for q := 0; q < s.n; q++ {

@@ -27,6 +27,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"coalloc/internal/obs"
 )
 
 // Event is a handle to a scheduled callback. It is a small value (copy it
@@ -90,6 +92,7 @@ type Engine struct {
 	stopped bool
 	steps   uint64
 	handler func(kind int32, payload any)
+	obs     *obs.Observer
 }
 
 // New returns an Engine with the clock at zero.
@@ -102,6 +105,31 @@ func (e *Engine) Now() float64 { return e.now }
 
 // Steps returns the number of events executed so far.
 func (e *Engine) Steps() uint64 { return e.steps }
+
+// Scheduled returns the number of events ever scheduled (fired, pending or
+// cancelled).
+func (e *Engine) Scheduled() uint64 { return e.seq }
+
+// ArenaSize returns the number of slots in the event arena — the peak
+// pending-event population. Scheduled events beyond this count were served
+// by recycled slots (the pool steady state).
+func (e *Engine) ArenaSize() int { return len(e.slots) }
+
+// SetObserver attaches a run observer. The kernel never calls the
+// observer from its inner loop — observability must not perturb the event
+// hot path — so the observer only receives the engine's lifetime counters
+// when ReportStats is called, normally once at the end of a run.
+func (e *Engine) SetObserver(o *obs.Observer) { e.obs = o }
+
+// Observer returns the attached observer (nil when none).
+func (e *Engine) Observer() *obs.Observer { return e.obs }
+
+// ReportStats dumps the engine's lifetime counters (events executed,
+// events scheduled, arena size) into the attached observer. It is safe to
+// call with no observer attached.
+func (e *Engine) ReportStats() {
+	e.obs.EngineStats(e.steps, e.seq, len(e.slots))
+}
 
 // ErrPastEvent is returned by At when the requested time precedes the clock.
 var ErrPastEvent = errors.New("sim: event scheduled in the past")

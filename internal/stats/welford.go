@@ -37,11 +37,31 @@ func (w *Welford) Add(x float64) {
 	w.m2 += delta * (x - w.mean)
 }
 
-// AddN incorporates the same observation count times.
+// AddN incorporates the same observation count times, in constant time.
+// It is the Chan et al. merge with a degenerate (count, x, 0) accumulator:
+// count identical observations contribute no within-group variance, so
+// only the between-group term delta² · n·count/(n+count) enters m2.
+// Non-positive counts are a no-op.
 func (w *Welford) AddN(x float64, count int64) {
-	for i := int64(0); i < count; i++ {
-		w.Add(x)
+	if count <= 0 {
+		return
 	}
+	if w.n == 0 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	n := w.n + count
+	delta := x - w.mean
+	w.mean += delta * float64(count) / float64(n)
+	w.m2 += delta * delta * float64(w.n) * float64(count) / float64(n)
+	w.sum += x * float64(count)
+	w.n = n
 }
 
 // Merge folds the other accumulator into w (Chan et al. parallel update).
@@ -152,9 +172,15 @@ func (tw *TimeWeighted) Level() float64 { return tw.level }
 func (tw *TimeWeighted) MaxLevel() float64 { return tw.maxLevel }
 
 // Integral returns the integral of the level from the start time to t.
+// Like Set, it panics when t precedes the last recorded change: silently
+// returning the stale integral would misreport every average computed
+// with an out-of-order clock.
 func (tw *TimeWeighted) Integral(t float64) float64 {
-	if !tw.started || t < tw.last {
-		return tw.integral
+	if !tw.started {
+		return 0
+	}
+	if t < tw.last {
+		panic("stats: TimeWeighted.Integral with decreasing time")
 	}
 	return tw.integral + tw.level*(t-tw.last)
 }
