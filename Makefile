@@ -6,7 +6,7 @@ GO ?= go
 # ride along so end-to-end regeneration time is tracked too.
 BENCHES = BenchmarkEngineEventRate|BenchmarkPolicyThroughput|BenchmarkBackfillPolicies|BenchmarkTable1|BenchmarkFig5
 
-.PHONY: verify test bench bench-smoke bench-baseline lint fmt-check
+.PHONY: verify test bench bench-smoke bench-baseline bench-record lint fmt-check
 
 # verify is the tier-1 gate: formatting, vet, build, the detlint
 # determinism rules (cmd/mclint), the full test suite, and the test
@@ -23,7 +23,8 @@ test:
 
 # lint runs the detlint static-analysis suite: the determinism and
 # pooling invariants (nowallclock, noglobalrand, nomaprange,
-# eventretain). `go run ./cmd/mclint -help` prints the rule catalog.
+# eventretain, jobretain). `go run ./cmd/mclint -help` prints the rule
+# catalog.
 lint:
 	$(GO) run ./cmd/mclint ./...
 
@@ -38,11 +39,21 @@ fmt-check:
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem . | $(GO) run ./scripts/benchjson -key after -o BENCH_1.json
 
-# bench-smoke compiles and runs every recorded benchmark exactly once —
-# no timing, no JSON — so CI catches benchmarks that rot (fail to build,
-# panic, or start allocating on a zero-alloc path would show in -benchmem).
+# bench-smoke compiles and runs every recorded benchmark exactly once and
+# pipes the output through the allocation guard: the run fails when the
+# macro benchmarks (Fig5, BackfillPolicies/*) regress more than 10% in
+# allocs/op against the "smoke" snapshot of BENCH_2.json — so CI catches
+# both benchmarks that rot and hot paths that quietly start allocating.
 bench-smoke:
-	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchtime 1x -benchmem .
+	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchtime 1x -benchmem . | $(GO) run ./scripts/benchguard -record BENCH_2.json -key smoke
+
+# bench-record re-measures the hot paths into BENCH_2.json: the amortized
+# numbers under "after" (the memory-lean pipeline record README cites) and
+# a single-shot run under "smoke", the reference bench-smoke guards
+# against. Re-run it whenever an intentional change moves the needle.
+bench-record:
+	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem . | $(GO) run ./scripts/benchjson -key after -o BENCH_2.json
+	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchtime 1x -benchmem . | $(GO) run ./scripts/benchjson -key smoke -o BENCH_2.json
 
 # bench-baseline records the same measurements under "baseline"; run it
 # before starting an optimization.

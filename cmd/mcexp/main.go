@@ -28,6 +28,7 @@ func main() {
 	dataDir := flag.String("data", "", "directory for CSV output (optional)")
 	progress := flag.Bool("progress", false, "print one line per completed sweep point (stderr)")
 	metrics := flag.Bool("metrics", false, "print an aggregate metrics summary after the experiments")
+	pergen := flag.Bool("pergen", false, "regenerate the workload inside every policy run instead of sharing a per-point trace (ablation; results are identical)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: mcexp [flags] <experiment>...|all|list\n\nexperiments:\n")
@@ -70,6 +71,7 @@ func main() {
 	if *progress {
 		params.Progress = os.Stderr
 	}
+	params.PerPolicyWorkload = *pergen
 	var observer *obs.Observer
 	if *metrics {
 		// Note: attaching an Observer serializes the sweeps (it is

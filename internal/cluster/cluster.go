@@ -43,6 +43,13 @@ type Multicluster struct {
 	idle  []int
 	busy  int // total busy processors, cached
 	cap   int
+
+	// Reusable scratch so the per-event Fits/Alloc checks are
+	// allocation-free. A Multicluster is single-simulation state and is
+	// never shared across goroutines, so plain fields suffice.
+	scrPlace []int
+	scrUsed  []bool
+	scrSeen  []bool
 }
 
 // New returns a multicluster with the given per-cluster processor counts.
@@ -51,8 +58,11 @@ func New(sizes []int) *Multicluster {
 		panic("cluster: New with no clusters")
 	}
 	m := &Multicluster{
-		sizes: make([]int, len(sizes)),
-		idle:  make([]int, len(sizes)),
+		sizes:    make([]int, len(sizes)),
+		idle:     make([]int, len(sizes)),
+		scrPlace: make([]int, len(sizes)),
+		scrUsed:  make([]bool, len(sizes)),
+		scrSeen:  make([]bool, len(sizes)),
 	}
 	for i, s := range sizes {
 		if s <= 0 {
@@ -97,14 +107,33 @@ func (m *Multicluster) TotalIdle() int { return m.cap - m.busy }
 // index per component and true, or nil and false when the request does not
 // fit. Place does not allocate; pair it with Alloc.
 func (m *Multicluster) Place(components []int, fit Fit) ([]int, bool) {
-	if len(components) == 0 {
-		panic("cluster: Place with no components")
-	}
 	if len(components) > len(m.sizes) {
 		return nil, false
 	}
 	placement := make([]int, len(components))
 	used := make([]bool, len(m.sizes))
+	if !m.PlaceInto(components, fit, placement, used) {
+		return nil, false
+	}
+	return placement, true
+}
+
+// PlaceInto is Place writing into caller-provided buffers, for schedulers
+// that probe placements in a loop: placement needs room for one entry per
+// component and used for one entry per cluster. On success the chosen
+// cluster indices are in placement[:len(components)]; both buffers hold
+// unspecified values otherwise. PlaceInto never touches the heap.
+func (m *Multicluster) PlaceInto(components []int, fit Fit, placement []int, used []bool) bool {
+	if len(components) == 0 {
+		panic("cluster: Place with no components")
+	}
+	if len(components) > len(m.sizes) {
+		return false
+	}
+	used = used[:len(m.sizes)]
+	for c := range used {
+		used[c] = false
+	}
 	for ci, need := range components {
 		best := -1
 		for c := range m.sizes {
@@ -132,12 +161,12 @@ func (m *Multicluster) Place(components []int, fit Fit) ([]int, bool) {
 			}
 		}
 		if best < 0 {
-			return nil, false
+			return false
 		}
 		used[best] = true
 		placement[ci] = best
 	}
-	return placement, true
+	return true
 }
 
 // Fits reports whether the components could be placed right now under the
@@ -148,8 +177,10 @@ func (m *Multicluster) Place(components []int, fit Fit) ([]int, bool) {
 // does; Fits deliberately reproduces that greedy test rather than solving
 // the (bipartite matching) feasibility problem optimally.
 func (m *Multicluster) Fits(components []int, fit Fit) bool {
-	_, ok := m.Place(components, fit)
-	return ok
+	if len(components) > len(m.sizes) {
+		return false
+	}
+	return m.PlaceInto(components, fit, m.scrPlace, m.scrUsed)
 }
 
 // FitsOn reports whether a single component of the given size fits on
@@ -222,7 +253,10 @@ func (m *Multicluster) Alloc(components, placement []int) {
 		panic(fmt.Sprintf("cluster: Alloc with %d components but %d placements",
 			len(components), len(placement)))
 	}
-	seen := make([]bool, len(m.sizes))
+	seen := m.scrSeen
+	for i := range seen {
+		seen[i] = false
+	}
 	for i, c := range placement {
 		if c < 0 || c >= len(m.sizes) {
 			panic(fmt.Sprintf("cluster: Alloc placement %d names cluster %d of %d", i, c, len(m.sizes)))

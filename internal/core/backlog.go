@@ -88,24 +88,16 @@ func RunBacklog(cfg BacklogConfig) (BacklogResult, error) {
 	svcStream := src.Stream("backlog/services")
 	routeStream := src.Stream("backlog/routing")
 
-	weights := cfg.QueueWeights
-	if weights == nil {
-		weights = Balanced(len(cfg.ClusterSizes))
-	}
-	var wsum float64
-	for _, w := range weights {
-		wsum += w
-	}
-	cdf := make([]float64, len(weights))
-	var acc float64
-	for i, w := range weights {
-		acc += w / wsum
-		cdf[i] = acc
-	}
+	cdf := routingCDF(cfg.QueueWeights, len(cfg.ClusterSizes))
 
 	eng := sim.New()
 	m := cluster.New(cfg.ClusterSizes)
-	s := &backlogSim{eng: eng, m: m, ext: cfg.Spec.ExtensionFactor}
+	s := &backlogSim{
+		eng:     eng,
+		m:       m,
+		ext:     cfg.Spec.ExtensionFactor,
+		scratch: policies.NewScratch(len(cfg.ClusterSizes)),
+	}
 	eng.SetHandler(s.handleEvent)
 	s.busy.StartAt(0, 0)
 
@@ -159,6 +151,7 @@ type backlogSim struct {
 	m          *cluster.Multicluster
 	pol        policies.Policy
 	busy       stats.TimeWeighted
+	scratch    *policies.Scratch
 	departures int
 	onDepart   func()
 	ext        float64
@@ -174,10 +167,15 @@ func (s *backlogSim) Now() float64 { return s.eng.Now() }
 // observability wiring.
 func (s *backlogSim) Obs() *obs.Observer { return nil }
 
+func (s *backlogSim) Scratch() *policies.Scratch { return s.scratch }
+
 func (s *backlogSim) Dispatch(j *workload.Job, placement []int) {
 	now := s.eng.Now()
 	j.StartTime = now
-	j.Placement = placement
+	// placement may point into shared pass scratch; the job keeps a
+	// stable copy for the release on departure.
+	j.Placement = append([]int(nil), placement...)
+	placement = j.Placement
 	if j.Type == workload.Flexible {
 		j.FinalizeFlexible(j.Components, s.ext)
 	}

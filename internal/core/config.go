@@ -54,6 +54,18 @@ type Config struct {
 	// its JSONL event trace. An Observer is single-threaded: attaching
 	// one makes RunReplications execute its replications serially.
 	Observer *obs.Observer
+	// Trace, when non-nil, replays a pre-generated workload record (see
+	// NewTrace) instead of sampling jobs live. The trace's seed and
+	// arrival rate must match the run's; sweeps use this to run every
+	// policy on the identical job stream (common random numbers). Only
+	// Unordered requests can be traced.
+	Trace *Trace
+	// TraceProvider, consulted when Trace is nil, resolves a shared trace
+	// for the run's seed. RunReplications derives a distinct seed per
+	// replication, so a provider (rather than a single Trace) is how a
+	// replicated run shares workloads: return nil to fall back to live
+	// sampling for that seed.
+	TraceProvider func(seed uint64) *Trace
 }
 
 func (c *Config) applyDefaults() {
@@ -95,6 +107,9 @@ func (c *Config) Validate() error {
 	if c.RequestType != workload.Unordered && c.Policy != "GS" && c.Policy != "SC" {
 		return fmt.Errorf("core: %s requests require the GS or SC policy, not %s",
 			c.RequestType, c.Policy)
+	}
+	if (c.Trace != nil || c.TraceProvider != nil) && c.RequestType != workload.Unordered {
+		return fmt.Errorf("core: workload traces support unordered requests, not %s", c.RequestType)
 	}
 	return nil
 }

@@ -122,20 +122,7 @@ func Replay(cfg ReplayConfig) (ReplayResult, error) {
 		}
 	}
 
-	weights := cfg.QueueWeights
-	if weights == nil {
-		weights = Balanced(clusters)
-	}
-	var wsum float64
-	for _, w := range weights {
-		wsum += w
-	}
-	cdf := make([]float64, len(weights))
-	var acc float64
-	for i, w := range weights {
-		acc += w / wsum
-		cdf[i] = acc
-	}
+	cdf := routingCDF(cfg.QueueWeights, clusters)
 	routeStream := rng.NewSource(cfg.Seed).Stream("replay/routing")
 	route := func() int {
 		if len(cdf) == 1 {
@@ -186,9 +173,10 @@ func Replay(cfg ReplayConfig) (ReplayResult, error) {
 					j.ArrivalTime, j.StartTime, j.FinishTime, intsDash(j.Placement))
 			}
 		},
-		busy: &busy,
-		pol:  pol,
-		obs:  cfg.Observer,
+		busy:    &busy,
+		pol:     pol,
+		obs:     cfg.Observer,
+		scratch: policies.NewScratch(clusters),
 	}
 	rs.onArrive = func(j *workload.Job) {
 		j.ArrivalTime = eng.Now()
@@ -276,6 +264,7 @@ type replaySim struct {
 	pol        policies.Policy
 	busy       *stats.TimeWeighted
 	obs        *obs.Observer
+	scratch    *policies.Scratch
 	onDispatch func(*workload.Job)
 	onArrive   func(*workload.Job)
 	onDepart   func(*workload.Job)
@@ -289,10 +278,15 @@ func (s *replaySim) Now() float64 { return s.eng.Now() }
 
 func (s *replaySim) Obs() *obs.Observer { return s.obs }
 
+func (s *replaySim) Scratch() *policies.Scratch { return s.scratch }
+
 func (s *replaySim) Dispatch(j *workload.Job, placement []int) {
 	now := s.eng.Now()
 	j.StartTime = now
-	j.Placement = placement
+	// placement may point into shared pass scratch; the job keeps a
+	// stable copy for the schedule CSV and the release on departure.
+	j.Placement = append([]int(nil), placement...)
+	placement = j.Placement
 	s.m.Alloc(j.Components, placement)
 	s.busy.Set(now, float64(s.m.Busy()))
 	s.obs.Start(now, j.ID, now-j.ArrivalTime, placement)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"coalloc/internal/cluster"
 	"coalloc/internal/dist"
@@ -23,13 +24,28 @@ const (
 	evDeparture
 )
 
+// arenaPool recycles job arenas across runs: a finished run resets its
+// arena (retaining the consolidated blocks) and returns it, so steady
+// replication loops reuse warmed-up block storage instead of growing a
+// fresh arena each time. Pooling is safe because Reset invalidates every
+// handle and Job/Ints zero their slots before handing them out — a
+// recycled arena is observationally identical to a fresh one.
+var arenaPool = sync.Pool{New: func() any { return workload.NewArena() }}
+
 // simulation implements policies.Ctx and carries one run's state.
 type simulation struct {
-	eng  *sim.Engine
-	m    *cluster.Multicluster
-	pol  policies.Policy
-	spec workload.Spec
-	obs  *obs.Observer
+	eng     *sim.Engine
+	m       *cluster.Multicluster
+	pol     policies.Policy
+	spec    workload.Spec
+	obs     *obs.Observer
+	arena   *workload.Arena
+	scratch *policies.Scratch
+
+	// cursor, when non-nil, replays a shared workload trace instead of
+	// sampling jobs live; traceIdx is the next entry to consume.
+	cursor   *traceCursor
+	traceIdx int
 
 	arrivalRate float64
 	reqType     workload.RequestType
@@ -75,12 +91,17 @@ func (s *simulation) Now() float64 { return s.eng.Now() }
 // (policies.Ctx).
 func (s *simulation) Obs() *obs.Observer { return s.obs }
 
+// Scratch returns the run's shared scheduling buffers (policies.Ctx).
+func (s *simulation) Scratch() *policies.Scratch { return s.scratch }
+
 // Dispatch allocates the placement and schedules the departure
-// (policies.Ctx).
+// (policies.Ctx). The placement argument may live in pass scratch, so the
+// stable per-job copy is carved from the run's arena.
 func (s *simulation) Dispatch(j *workload.Job, placement []int) {
 	now := s.eng.Now()
 	j.StartTime = now
-	j.Placement = placement
+	j.Placement = s.arena.CopyInts(placement)
+	placement = j.Placement
 	if j.Type == workload.Flexible {
 		// The scheduler chose the split; the extension factor applies
 		// only if it actually spans clusters.
@@ -185,21 +206,36 @@ func (s *simulation) routeQueue() int {
 }
 
 // arrive creates the next job, submits it, and schedules the following
-// arrival.
+// arrival. With a shared trace attached, the job's draws come from the
+// trace record instead of the live streams; the job itself is still built
+// in this run's arena.
 func (s *simulation) arrive() {
 	now := s.eng.Now()
-	j := s.spec.SampleTyped(s.reqType, s.sizeStream, s.svcStream, s.placeStream)
+	var j *workload.Job
+	if s.cursor != nil {
+		_, total, svc, queue := s.cursor.at(s.traceIdx)
+		j = s.spec.JobFromDraws(s.arena, total, svc)
+		j.Queue = queue
+		s.traceIdx++
+	} else {
+		j = s.spec.SampleTypedInto(s.arena, s.reqType, s.sizeStream, s.svcStream, s.placeStream)
+		j.Queue = s.routeQueue()
+	}
 	s.nextID++
 	j.ID = s.nextID
 	j.ArrivalTime = now
-	j.Queue = s.routeQueue()
 	s.obs.Arrival(now, j.ID, j.TotalSize, j.Components, j.Queue)
 	s.inSystem.Add(now, 1)
 	s.pol.Submit(s, j)
 	if s.obs != nil {
 		s.obs.QueueDepth(s.pol.Queued())
 	}
-	s.eng.ScheduleAfter(s.arrivals.Exp(s.arrivalRate), evArrival, nil)
+	if s.cursor != nil {
+		next, _, _, _ := s.cursor.at(s.traceIdx)
+		s.eng.Schedule(next, evArrival, nil)
+	} else {
+		s.eng.ScheduleAfter(s.arrivals.Exp(s.arrivalRate), evArrival, nil)
+	}
 }
 
 // newSimulation wires up a run from its configuration. The caller must
@@ -213,20 +249,7 @@ func newSimulation(cfg Config) (*simulation, error) {
 		return nil, err
 	}
 	src := rng.NewSource(cfg.Seed)
-	weights := cfg.QueueWeights
-	if weights == nil {
-		weights = Balanced(len(cfg.ClusterSizes))
-	}
-	var wsum float64
-	for _, w := range weights {
-		wsum += w
-	}
-	cdf := make([]float64, len(weights))
-	var acc float64
-	for i, w := range weights {
-		acc += w / wsum
-		cdf[i] = acc
-	}
+	cdf := routingCDF(cfg.QueueWeights, len(cfg.ClusterSizes))
 	batchSize := int64(cfg.MeasureJobs / 30)
 	if batchSize < 1 {
 		batchSize = 1
@@ -238,6 +261,8 @@ func newSimulation(cfg Config) (*simulation, error) {
 		respByClass: make([]stats.Welford, len(SizeClassBounds)),
 		pol:         pol,
 		spec:        cfg.Spec,
+		arena:       arenaPool.Get().(*workload.Arena),
+		scratch:     policies.NewScratch(len(cfg.ClusterSizes)),
 		arrivalRate: cfg.ArrivalRate,
 		reqType:     cfg.RequestType,
 		arrivals:    src.Stream("core/arrivals"),
@@ -250,6 +275,19 @@ func newSimulation(cfg Config) (*simulation, error) {
 		measureJobs: cfg.MeasureJobs,
 		batch:       stats.NewBatchMeans(batchSize),
 		quantiles:   stats.NewQuantileSet(),
+	}
+	tr := cfg.Trace
+	if tr == nil && cfg.TraceProvider != nil {
+		tr = cfg.TraceProvider(cfg.Seed)
+	}
+	if tr != nil {
+		if cfg.RequestType != workload.Unordered {
+			return nil, fmt.Errorf("core: workload traces support unordered requests, not %s", cfg.RequestType)
+		}
+		if err := tr.matches(cfg); err != nil {
+			return nil, err
+		}
+		s.cursor = newTraceCursor(tr)
 	}
 	s.eng.SetHandler(s.handleEvent)
 	if cfg.Observer != nil {
@@ -278,7 +316,12 @@ func Run(cfg Config) (Result, error) {
 		// job and skewing every time-weighted average.
 		s.startMeasuring(0)
 	}
-	s.eng.ScheduleAfter(s.arrivals.Exp(s.arrivalRate), evArrival, nil)
+	if s.cursor != nil {
+		first, _, _, _ := s.cursor.at(0)
+		s.eng.Schedule(first, evArrival, nil)
+	} else {
+		s.eng.ScheduleAfter(s.arrivals.Exp(s.arrivalRate), evArrival, nil)
+	}
 	s.eng.Run()
 	s.eng.ReportStats()
 
@@ -325,6 +368,11 @@ func Run(cfg Config) (Result, error) {
 	// measurement window relative to the number of jobs served.
 	growth := res.FinalQueue - s.queueAtWarm
 	res.Saturated = growth > res.Jobs/20 && growth > 50
+	// The run is over and Result holds no job handles, so every arena
+	// allocation is dead: recycle the blocks for the next run.
+	s.arena.Reset()
+	arenaPool.Put(s.arena)
+	s.arena = nil
 	return res, nil
 }
 

@@ -15,7 +15,7 @@
 //
 // # Rules
 //
-// Four analyzers ship with the framework (see All):
+// Five analyzers ship with the framework (see All):
 //
 //   - nowallclock: no wall-clock time (time.Now, time.Since, time.Sleep,
 //     ...) in deterministic packages; simulations read sim.Engine.Now.
@@ -27,6 +27,9 @@
 //   - eventretain: no storing sim.Event handles into struct fields,
 //     slices, maps, or package-level variables; pooled handles go stale
 //     once the event fires or is cancelled.
+//   - jobretain: no storing arena-owned workload.Job handles in
+//     package-level variables or sending them over channels; the per-run
+//     arena recycles every job when the run ends.
 //
 // # Suppressions
 //
@@ -59,7 +62,7 @@ type Analyzer struct {
 
 // All returns the full rule set in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{NoWallClock, NoGlobalRand, NoMapRange, EventRetain}
+	return []*Analyzer{NoWallClock, NoGlobalRand, NoMapRange, EventRetain, JobRetain}
 }
 
 // DeterministicPackages lists the module-relative import paths whose code

@@ -1,0 +1,132 @@
+package detlint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// JobRetain flags code that stores arena-owned *workload.Job handles where
+// they can outlive the run that allocated them. Jobs are block-allocated
+// from a per-run workload.Arena; at the end of the run the arena is reset
+// and recycled, so a retained handle silently aliases a different
+// replication's job. Results and summaries must copy the scalar fields
+// they need instead of keeping the handle.
+//
+// Flagged shapes, everywhere outside internal/workload and tests:
+//
+//   - package-level variables whose type contains workload.Job (directly
+//     or through pointers, slices, arrays, maps, or structs)
+//   - channel types — anywhere — whose element type contains workload.Job:
+//     a channel hands the job to another goroutine, which is never inside
+//     the sending run's scope
+//
+// Struct fields are deliberately NOT flagged: queues, policies and the
+// simulation itself legitimately hold jobs for the duration of the run,
+// and that run-scoped state dies with the run. The hazard is state that
+// survives it — globals and cross-goroutine channels.
+var JobRetain = &Analyzer{
+	Name: "jobretain",
+	Doc:  "no storing arena-owned workload.Job handles in globals or sending them over channels",
+	Run:  runJobRetain,
+}
+
+const jobRetainAdvice = "arena-owned jobs are recycled when their run resets the arena; copy the fields you need instead of retaining the handle"
+
+func runJobRetain(pass *Pass) {
+	wlPath := pass.Module.Path + "/internal/workload"
+	if pass.Pkg.ImportPath == wlPath {
+		return
+	}
+	c := jobChecker{wlPath: wlPath, memo: make(map[types.Type]bool)}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		// Package-level variables. The checker does not traverse into
+		// channel types here — channels are reported once, below, at the
+		// channel type itself.
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if name.Name == "_" {
+						continue // a blank var discards the value
+					}
+					obj := info.Defs[name]
+					if obj != nil && c.contains(obj.Type()) {
+						pass.Reportf(name.Pos(),
+							"package-level variable %s retains a workload.Job handle; %s", name.Name, jobRetainAdvice)
+					}
+				}
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			ct, ok := n.(*ast.ChanType)
+			if !ok {
+				return true
+			}
+			t := info.TypeOf(ct)
+			ch, ok := t.(*types.Chan)
+			if !ok {
+				return true
+			}
+			if c.contains(ch.Elem()) {
+				pass.Reportf(ct.Pos(),
+					"channel carries workload.Job handles across run scope; %s", jobRetainAdvice)
+			}
+			return true
+		})
+	}
+}
+
+// jobChecker decides whether a type transitively contains workload.Job.
+// Channels terminate the traversal: the channel check reports them itself.
+type jobChecker struct {
+	wlPath string
+	memo   map[types.Type]bool
+}
+
+func (c *jobChecker) contains(t types.Type) bool {
+	if v, ok := c.memo[t]; ok {
+		return v
+	}
+	// Pre-seed false to terminate on recursive types.
+	c.memo[t] = false
+	v := c.containsUncached(t)
+	c.memo[t] = v
+	return v
+}
+
+func (c *jobChecker) containsUncached(t types.Type) bool {
+	switch t := t.(type) {
+	case *types.Named:
+		obj := t.Obj()
+		if obj.Name() == "Job" && obj.Pkg() != nil && obj.Pkg().Path() == c.wlPath {
+			return true
+		}
+		return c.contains(t.Underlying())
+	case *types.Alias:
+		return c.contains(types.Unalias(t))
+	case *types.Pointer:
+		return c.contains(t.Elem())
+	case *types.Slice:
+		return c.contains(t.Elem())
+	case *types.Array:
+		return c.contains(t.Elem())
+	case *types.Map:
+		return c.contains(t.Key()) || c.contains(t.Elem())
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if c.contains(t.Field(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}

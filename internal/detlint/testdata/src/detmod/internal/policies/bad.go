@@ -1,6 +1,7 @@
 // Package policies is a fixture: internal/policies is in the
 // deterministic set, so nowallclock and nomaprange apply here, and
-// eventretain applies everywhere outside internal/sim.
+// eventretain and jobretain apply everywhere outside internal/sim and
+// internal/workload respectively.
 package policies
 
 import (
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"coalloc/internal/sim"
+	"coalloc/internal/workload"
 )
 
 type sched struct {
@@ -90,4 +92,31 @@ func retain(e *sim.Engine) {
 	_ = sortedPositiveKeys
 	_ = sum
 	_ = firstKey
+}
+
+var lastJob *workload.Job       // want jobretain
+var history []*workload.Job     // want jobretain
+var doneJobs chan *workload.Job // want jobretain
+
+// queue is fine: struct fields hold jobs for the duration of the run.
+type queue struct {
+	jobs []*workload.Job
+	head int
+}
+
+// mailbox is not: a channel hands the job to another goroutine.
+type mailbox struct {
+	ch chan []*workload.Job // want jobretain
+}
+
+func leakJob(a *workload.Arena) {
+	j := a.Job()
+	ch := make(chan *workload.Job, 1) // want jobretain
+	ch <- j
+	lastJob = j
+	_ = ch
+	_ = history
+	_ = doneJobs
+	_ = queue{}
+	_ = mailbox{}
 }

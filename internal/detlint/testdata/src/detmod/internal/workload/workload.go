@@ -1,0 +1,20 @@
+// Package workload is a minimal stand-in for the real job model: just
+// enough surface for the jobretain fixtures. Its import path matches the
+// real one (module "coalloc", directory internal/workload), which is how
+// the analyzer identifies the Job type.
+package workload
+
+// Job mirrors the arena-allocated job of the real model.
+type Job struct {
+	ID         int64
+	Components []int
+}
+
+// Arena mirrors the per-run allocator.
+type Arena struct{ jobs []Job }
+
+// Job hands out an arena-owned handle.
+func (a *Arena) Job() *Job {
+	a.jobs = append(a.jobs, Job{})
+	return &a.jobs[len(a.jobs)-1]
+}

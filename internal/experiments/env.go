@@ -55,6 +55,13 @@ type Params struct {
 	// of every simulation run. An Observer is single-threaded, so sweeps
 	// and replications then execute serially, in deterministic order.
 	Observer *obs.Observer
+	// PerPolicyWorkload disables the shared workload trace: each policy
+	// run then regenerates its jobs from the random streams instead of
+	// replaying the per-(seed, utilization) record. The results are
+	// bit-identical either way (the trace generator mirrors the live
+	// sampler draw for draw — pinned by the sweep guardrail test), so
+	// this exists as an ablation/debugging switch, not a fidelity knob.
+	PerPolicyWorkload bool
 }
 
 // DefaultParams returns publication-fidelity settings.
@@ -98,6 +105,10 @@ func grid(lo, hi, step float64) []float64 {
 type Env struct {
 	Params
 	Derived workload.Derived
+
+	// traces shares each (seed, utilization) point's workload record
+	// between the policies that sweep it (common random numbers).
+	traces traceCache
 }
 
 // NewEnv derives the canonical workload and returns a ready environment.
@@ -204,6 +215,9 @@ func (e *Env) point(cs CurveSpec, util float64) (core.Result, error) {
 		MeasureJobs:  e.MeasureJobs,
 		Seed:         e.Seed,
 		Observer:     e.Observer,
+	}
+	if !e.PerPolicyWorkload && cfg.RequestType == workload.Unordered {
+		cfg.TraceProvider = e.traces.provider(cfg)
 	}
 	return core.RunReplications(cfg, e.Replications)
 }

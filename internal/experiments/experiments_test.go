@@ -353,3 +353,50 @@ func TestAllRunsEveryExperiment(t *testing.T) {
 		}
 	}
 }
+
+// TestSweepSharedTraceMatchesPerPolicy is the sweep-level common-random-
+// numbers guardrail: running the standard policy curves against the shared
+// per-point workload traces must produce exactly the curves of the
+// per-policy generation path (PerPolicyWorkload). Both modes feed every
+// run the same draws; only where the draws happen differs.
+func TestSweepSharedTraceMatchesPerPolicy(t *testing.T) {
+	p := tinyParams()
+	p.Utilizations = []float64{0.3, 0.5}
+	p.Replications = 2
+
+	curves := func(env *Env) []plot.Series {
+		spec := env.MultiSpec(16, env.Derived.Sizes128)
+		var out []plot.Series
+		for _, cs := range []CurveSpec{
+			{Label: "GS", Policy: "GS", ClusterSizes: MulticlusterSizes, Spec: spec},
+			{Label: "LS", Policy: "LS", ClusterSizes: MulticlusterSizes, Spec: spec},
+			{Label: "LP", Policy: "LP", ClusterSizes: MulticlusterSizes, Spec: spec},
+			{Label: "LS-unbal", Policy: "LS", ClusterSizes: MulticlusterSizes, Spec: spec,
+				QueueWeights: core.Unbalanced(len(MulticlusterSizes))},
+		} {
+			s, err := env.Curve(cs)
+			if err != nil {
+				t.Fatalf("%s: %v", cs.Label, err)
+			}
+			out = append(out, s)
+		}
+		return out
+	}
+
+	shared := curves(NewEnv(p))
+	p.PerPolicyWorkload = true
+	pergen := curves(NewEnv(p))
+
+	for ci := range shared {
+		a, b := shared[ci], pergen[ci]
+		if a.Len() != b.Len() {
+			t.Fatalf("%s: shared %d points, per-policy %d", a.Name, a.Len(), b.Len())
+		}
+		for i := range a.X {
+			if a.X[i] != b.X[i] || a.Y[i] != b.Y[i] {
+				t.Fatalf("%s point %d differs: shared (%g,%g) vs per-policy (%g,%g)",
+					a.Name, i, a.X[i], a.Y[i], b.X[i], b.Y[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"coalloc/internal/core"
+	"coalloc/internal/dist"
+)
+
+// traceKey identifies the workload record one replication draws: the seed
+// and arrival rate pin the stream state and interarrival scale, the
+// distribution identities pin the size/service draws, and the cluster
+// count plus routing weights pin the queue draws. Everything else in a
+// Config (policy, fit, component limit, warmup) only affects how the
+// recorded jobs are scheduled, not the record itself — which is exactly
+// why policies sharing a key can share a trace.
+type traceKey struct {
+	seed     uint64
+	rate     float64
+	sizes    *dist.EmpiricalInt
+	service  dist.Continuous
+	clusters int
+	weights  string
+}
+
+// traceCacheCap bounds the cache. A sweep touches one key per
+// (seed, utilization) pair per system, and keys stop being useful the
+// moment every policy's curve has passed the point, so a small FIFO
+// window over the in-flight points is enough; evicted traces simply
+// regenerate if a straggler still wants them.
+const traceCacheCap = 64
+
+// traceCache shares workload traces between the policy runs of a sweep.
+// It is safe for concurrent use: sweep points run in parallel, and the
+// traces themselves support concurrent extension.
+type traceCache struct {
+	mu    sync.Mutex
+	cache map[traceKey]*core.Trace
+	order []traceKey // insertion order, for FIFO eviction
+}
+
+// provider returns a core.Config.TraceProvider resolving traces for cfg's
+// configuration point at any replication seed. A nil return from the
+// provider (trace construction failed — e.g. a request type that cannot
+// be traced) falls back to live sampling inside core.
+func (tc *traceCache) provider(cfg core.Config) func(seed uint64) *core.Trace {
+	return func(seed uint64) *core.Trace {
+		key := traceKey{
+			seed:     seed,
+			rate:     cfg.ArrivalRate,
+			sizes:    cfg.Spec.Sizes,
+			service:  cfg.Spec.Service,
+			clusters: len(cfg.ClusterSizes),
+			weights:  fmt.Sprint(cfg.QueueWeights),
+		}
+		tc.mu.Lock()
+		defer tc.mu.Unlock()
+		if tr, ok := tc.cache[key]; ok {
+			return tr
+		}
+		tr, err := core.NewTrace(cfg, seed)
+		if err != nil {
+			return nil
+		}
+		if tc.cache == nil {
+			tc.cache = make(map[traceKey]*core.Trace, traceCacheCap)
+		}
+		for len(tc.order) >= traceCacheCap {
+			delete(tc.cache, tc.order[0])
+			tc.order = tc.order[1:]
+		}
+		tc.cache[key] = tr
+		tc.order = append(tc.order, key)
+		return tr
+	}
+}

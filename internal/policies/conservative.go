@@ -136,7 +136,8 @@ func (p *Conservative) pass(ctx Ctx) {
 	o := ctx.Obs()
 	o.Pass()
 	prof := p.passProfile(m, now)
-	var started []*workload.Job
+	s := ctx.Scratch()
+	s.Started = s.Started[:0]
 	p.q.ForEachWaiting(func(idx int, j *workload.Job) bool {
 		if idx >= reservationCap {
 			return false
@@ -158,21 +159,23 @@ func (p *Conservative) pass(ctx Ctx) {
 			if idx > 0 {
 				o.BackfillSuccess()
 			}
+			// placement is profile scratch; Dispatch leaves the stable
+			// copy in j.Placement, which the persistent records use.
 			ctx.Dispatch(j, placement)
 			p.running = append(p.running, runInfo{
 				job:       j,
 				finish:    now + j.ExtendedServiceTime,
 				comps:     j.Components,
-				placement: placement,
+				placement: j.Placement,
 			})
 			// The start becomes part of the persistent forecast.
-			p.base.reserve(j.Components, placement, now, j.ExtendedServiceTime)
-			started = append(started, j)
+			p.base.reserve(j.Components, j.Placement, now, j.ExtendedServiceTime)
+			s.Started = append(s.Started, j)
 		}
 		return true
 	})
-	if len(started) > 0 {
-		p.q.RemoveAll(started)
+	if len(s.Started) > 0 {
+		p.q.RemoveAll(s.Started)
 	}
 }
 

@@ -73,14 +73,16 @@ func (p *EASY) JobDeparted(ctx Ctx, j *workload.Job) {
 }
 
 // start dispatches a job and inserts it into the running set in
-// finish-time order, so earliestFit never needs to sort.
+// finish-time order, so earliestFit never needs to sort. The runInfo
+// records j.Placement — the stable copy Dispatch is contracted to leave
+// on the job — because the placement argument may live in pass scratch.
 func (p *EASY) start(ctx Ctx, j *workload.Job, placement []int) {
 	ctx.Dispatch(j, placement)
 	r := runInfo{
 		job:       j,
 		finish:    ctx.Now() + j.ExtendedServiceTime,
 		comps:     j.Components,
-		placement: placement,
+		placement: j.Placement,
 	}
 	i := sort.Search(len(p.running), func(k int) bool { return p.running[k].finish > r.finish })
 	p.running = append(p.running, runInfo{})
@@ -93,6 +95,7 @@ func (p *EASY) start(ctx Ctx, j *workload.Job, placement []int) {
 func (p *EASY) pass(ctx Ctx) {
 	m := ctx.Cluster()
 	o := ctx.Obs()
+	s := ctx.Scratch()
 	o.Pass()
 	// Phase 1: plain FCFS starts from the head.
 	for {
@@ -100,13 +103,12 @@ func (p *EASY) pass(ctx Ctx) {
 		if head == nil {
 			return
 		}
-		placement, ok := m.Place(head.Components, p.fit)
-		if !ok {
+		if !m.PlaceInto(head.Components, p.fit, s.Place, s.Used) {
 			o.HeadMiss(workload.GlobalQueue)
 			break
 		}
 		p.q.Pop()
-		p.start(ctx, head, placement)
+		p.start(ctx, head, s.Place[:len(head.Components)])
 	}
 	// Phase 2: the head is blocked; compute its reservation.
 	head := p.q.Head()
@@ -118,16 +120,16 @@ func (p *EASY) pass(ctx Ctx) {
 	}
 	// Phase 3: scan the rest of the queue for backfill candidates.
 	// Pop/re-push is avoided: collect indices to start, then rebuild.
-	var started []*workload.Job
+	s.Started = s.Started[:0]
 	p.q.ForEachWaiting(func(idx int, j *workload.Job) bool {
 		if idx == 0 {
 			return true // the head itself
 		}
 		o.BackfillAttempt()
-		placement, ok := m.Place(j.Components, p.fit)
-		if !ok {
+		if !m.PlaceInto(j.Components, p.fit, s.Place, s.Used) {
 			return true
 		}
+		placement := s.Place[:len(j.Components)]
 		// Would starting j delay the head's reservation? Evaluate the
 		// head's earliest fit with j hypothetically running.
 		hypo := runInfo{
@@ -145,11 +147,11 @@ func (p *EASY) pass(ctx Ctx) {
 		// dispatch must not allocate again — start via dispatchHeld.
 		p.dispatchHeld(ctx, j, placement)
 		o.BackfillSuccess()
-		started = append(started, j)
+		s.Started = append(s.Started, j)
 		return true
 	})
-	if len(started) > 0 {
-		p.q.RemoveAll(started)
+	if len(s.Started) > 0 {
+		p.q.RemoveAll(s.Started)
 	}
 }
 

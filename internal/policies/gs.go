@@ -44,13 +44,14 @@ func (p *GS) JobDeparted(ctx Ctx, _ *workload.Job) { p.pass(ctx) }
 func (p *GS) pass(ctx Ctx) {
 	m := ctx.Cluster()
 	o := ctx.Obs()
+	s := ctx.Scratch()
 	o.Pass()
 	for {
 		head := p.q.Head()
 		if head == nil {
 			return
 		}
-		placement, ok := p.placeFor(m, head)
+		placement, ok := p.placeFor(m, head, s)
 		if !ok {
 			o.HeadMiss(workload.GlobalQueue)
 			return
@@ -62,8 +63,9 @@ func (p *GS) pass(ctx Ctx) {
 
 // placeFor finds processors for a job according to its request type. GS is
 // the only policy supporting all four types; LS and LP are defined by the
-// paper for unordered requests only.
-func (p *GS) placeFor(m *cluster.Multicluster, j *workload.Job) ([]int, bool) {
+// paper for unordered requests only. The returned placement may live in
+// the pass scratch; Dispatch copies it.
+func (p *GS) placeFor(m *cluster.Multicluster, j *workload.Job, s *Scratch) ([]int, bool) {
 	switch j.Type {
 	case workload.Ordered:
 		if m.FitsOrdered(j.Components, j.OrderedPlacement) {
@@ -79,7 +81,10 @@ func (p *GS) placeFor(m *cluster.Multicluster, j *workload.Job) ([]int, bool) {
 		j.Components = components
 		return placement, true
 	default: // Unordered and Total (a single pseudo-component).
-		return m.Place(j.Components, p.fit)
+		if !m.PlaceInto(j.Components, p.fit, s.Place, s.Used) {
+			return nil, false
+		}
+		return s.Place[:len(j.Components)], true
 	}
 }
 

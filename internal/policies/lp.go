@@ -91,8 +91,8 @@ func (p *LP) anyLocalEmpty() bool {
 func (p *LP) pass(ctx Ctx) {
 	m := ctx.Cluster()
 	o := ctx.Obs()
+	s := ctx.Scratch()
 	o.Pass()
-	round := make([]int, 0, len(p.locals))
 	for {
 		progress := false
 		// The global queue is visited first, and only while it is both
@@ -100,9 +100,9 @@ func (p *LP) pass(ctx Ctx) {
 		// queue empty).
 		if p.globalEnabled && p.anyLocalEmpty() {
 			if head := p.global.Head(); head != nil {
-				if placement, ok := m.Place(head.Components, p.fit); ok {
+				if m.PlaceInto(head.Components, p.fit, s.Place, s.Used) {
 					p.global.Pop()
-					ctx.Dispatch(head, placement)
+					ctx.Dispatch(head, s.Place[:len(head.Components)])
 					progress = true
 				} else {
 					p.globalEnabled = false
@@ -111,7 +111,7 @@ func (p *LP) pass(ctx Ctx) {
 				}
 			}
 		}
-		round = append(round[:0], p.set.Enabled()...)
+		round := append(s.Round[:0], p.set.Enabled()...)
 		for _, q := range round {
 			head := p.locals[q].Head()
 			if head == nil {
@@ -119,7 +119,8 @@ func (p *LP) pass(ctx Ctx) {
 			}
 			if m.FitsOn(q, head.Components[0]) {
 				p.locals[q].Pop()
-				ctx.Dispatch(head, []int{q})
+				s.Place[0] = q
+				ctx.Dispatch(head, s.Place[:1])
 				progress = true
 			} else {
 				o.HeadMiss(q)

@@ -82,18 +82,18 @@ func (p *LS) JobDeparted(ctx Ctx, _ *workload.Job) {
 func (p *LS) pass(ctx Ctx) {
 	m := ctx.Cluster()
 	o := ctx.Obs()
+	s := ctx.Scratch()
 	o.Pass()
-	round := make([]int, 0, len(p.qs))
 	for {
 		progress := false
 		// Snapshot the visit order: Disable mutates the enabled list.
-		round = append(round[:0], p.set.Enabled()...)
+		round := append(s.Round[:0], p.set.Enabled()...)
 		for _, q := range round {
 			head := p.qs[q].Head()
 			if head == nil {
 				continue // an empty queue is skipped, not disabled
 			}
-			placement, ok := p.place(m, head, q)
+			placement, ok := p.place(m, head, q, s)
 			if !ok {
 				o.HeadMiss(q)
 				p.set.Disable(q)
@@ -110,13 +110,18 @@ func (p *LS) pass(ctx Ctx) {
 }
 
 // place finds processors for the head job of queue q: multi-component jobs
-// anywhere in the system, single-component jobs only on cluster q.
-func (p *LS) place(m *cluster.Multicluster, j *workload.Job, q int) ([]int, bool) {
+// anywhere in the system, single-component jobs only on cluster q. The
+// returned placement lives in the pass scratch; Dispatch copies it.
+func (p *LS) place(m *cluster.Multicluster, j *workload.Job, q int, s *Scratch) ([]int, bool) {
 	if j.Multi() {
-		return m.Place(j.Components, p.fit)
+		if !m.PlaceInto(j.Components, p.fit, s.Place, s.Used) {
+			return nil, false
+		}
+		return s.Place[:len(j.Components)], true
 	}
 	if m.FitsOn(q, j.Components[0]) {
-		return []int{q}, true
+		s.Place[0] = q
+		return s.Place[:1], true
 	}
 	return nil, false
 }

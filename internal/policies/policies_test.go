@@ -11,6 +11,7 @@ import (
 // mockCtx implements Ctx with a real multicluster and a dispatch log.
 type mockCtx struct {
 	m          *cluster.Multicluster
+	scratch    *Scratch
 	dispatched []*workload.Job
 	now        float64
 	obs        *obs.Observer
@@ -20,7 +21,7 @@ func newMockCtx(sizes ...int) *mockCtx {
 	if len(sizes) == 0 {
 		sizes = []int{32, 32, 32, 32}
 	}
-	return &mockCtx{m: cluster.New(sizes)}
+	return &mockCtx{m: cluster.New(sizes), scratch: NewScratch(len(sizes))}
 }
 
 func (c *mockCtx) Cluster() *cluster.Multicluster { return c.m }
@@ -29,9 +30,12 @@ func (c *mockCtx) Now() float64 { return c.now }
 
 func (c *mockCtx) Obs() *obs.Observer { return c.obs }
 
+func (c *mockCtx) Scratch() *Scratch { return c.scratch }
+
 func (c *mockCtx) Dispatch(j *workload.Job, placement []int) {
 	c.m.Alloc(j.Components, placement)
-	j.Placement = placement
+	// Per the Ctx contract, placement may be pass scratch: keep a copy.
+	j.Placement = append([]int(nil), placement...)
 	c.dispatched = append(c.dispatched, j)
 }
 

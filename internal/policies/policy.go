@@ -23,12 +23,51 @@ type Ctx interface {
 	Cluster() *cluster.Multicluster
 	// Now returns the current virtual time in seconds.
 	Now() float64
-	// Dispatch starts the job on the given placement now.
+	// Dispatch starts the job on the given placement now. The placement
+	// slice may point into shared scratch (see Scratch): Dispatch must
+	// copy it before retaining, and must leave j.Placement holding a
+	// stable copy that stays valid for the job's lifetime — the
+	// backfilling policies read it back for their reservation records.
 	Dispatch(j *workload.Job, placement []int)
 	// Obs returns the run's observer, or nil when observability is off.
 	// Policies report scheduling passes, head-of-queue misses and
 	// backfill decisions into it; all observer methods are nil-safe.
 	Obs() *obs.Observer
+	// Scratch returns the run's shared scheduling scratch buffers.
+	// Exactly one policy pass runs at a time (a simulation run is
+	// single-threaded), so one set per run suffices.
+	Scratch() *Scratch
+}
+
+// Scratch is the bundle of reusable buffers a scheduling pass works in,
+// owned by the run and handed to the policies through Ctx. It exists so
+// the steady-state scheduling passes — placement probes, visit-order
+// snapshots, backfill candidate collection — allocate nothing.
+//
+// Contents are valid only within one pass step: any placement a policy
+// wants to keep must be copied (Ctx.Dispatch does exactly that).
+type Scratch struct {
+	// Place receives candidate placements (one entry per component; sized
+	// to the cluster count, the maximum component count).
+	Place []int
+	// Used marks clusters taken by a partial placement (one entry per
+	// cluster).
+	Used []bool
+	// Round snapshots a visit order for one round of a multi-queue pass.
+	Round []int
+	// Started collects the jobs a backfilling pass dispatched, for batch
+	// removal from the queue. Cleared at the start of each pass.
+	Started []*workload.Job
+}
+
+// NewScratch returns scratch buffers for a system with the given number
+// of clusters.
+func NewScratch(clusters int) *Scratch {
+	return &Scratch{
+		Place: make([]int, clusters),
+		Used:  make([]bool, clusters),
+		Round: make([]int, 0, clusters),
+	}
 }
 
 // ObserverSetter is implemented by policies with internal state that

@@ -166,6 +166,10 @@ func (p *profile) minWindow(t, dur float64) []int {
 // earliestStart returns the earliest time >= now at which components can
 // hold the same distinct clusters for the whole duration, together with
 // the placement. It returns +Inf when the components can never fit.
+//
+// The returned placement is the profile's scratch buffer: it is valid
+// only until the next earliestStart call on this profile, so callers must
+// consume it (reserve, dispatch — Dispatch copies) before probing again.
 func (p *profile) earliestStart(comps []int, dur float64, fit cluster.Fit) (float64, []int) {
 	n := len(p.idle[0])
 	if cap(p.used) < n {
@@ -178,9 +182,7 @@ func (p *profile) earliestStart(comps []int, dur float64, fit cluster.Fit) (floa
 		t := p.times[s]
 		min := p.minWindow(t, dur)
 		if placeVectorInto(min, comps, fit, p.place[:len(comps)], p.used[:n]) {
-			placement := make([]int, len(comps))
-			copy(placement, p.place)
-			return t, placement
+			return t, p.place[:len(comps)]
 		}
 	}
 	return math.Inf(1), nil

@@ -49,16 +49,16 @@ func (p *SPF) JobDeparted(ctx Ctx, _ *workload.Job) { p.pass(ctx) }
 func (p *SPF) pass(ctx Ctx) {
 	m := ctx.Cluster()
 	o := ctx.Obs()
+	s := ctx.Scratch()
 	o.Pass()
 	for len(p.jobs) > 0 {
 		head := p.jobs[0]
-		placement, ok := m.Place(head.Components, p.fit)
-		if !ok {
+		if !m.PlaceInto(head.Components, p.fit, s.Place, s.Used) {
 			o.HeadMiss(workload.GlobalQueue)
 			return
 		}
 		p.jobs = p.jobs[1:]
-		ctx.Dispatch(head, placement)
+		ctx.Dispatch(head, s.Place[:len(head.Components)])
 	}
 }
 

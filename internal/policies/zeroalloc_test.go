@@ -1,0 +1,75 @@
+package policies
+
+import (
+	"testing"
+
+	"coalloc/internal/cluster"
+	"coalloc/internal/obs"
+	"coalloc/internal/workload"
+)
+
+// arenaCtx is a Ctx whose Dispatch copies the placement into an arena,
+// exactly as the simulator's does — the setup under which the scheduling
+// hot path is supposed to be allocation-free.
+type arenaCtx struct {
+	m       *cluster.Multicluster
+	scratch *Scratch
+	arena   *workload.Arena
+	last    *workload.Job
+}
+
+func (c *arenaCtx) Cluster() *cluster.Multicluster { return c.m }
+func (c *arenaCtx) Now() float64                   { return 0 }
+func (c *arenaCtx) Obs() *obs.Observer             { return nil }
+func (c *arenaCtx) Scratch() *Scratch              { return c.scratch }
+
+func (c *arenaCtx) Dispatch(j *workload.Job, placement []int) {
+	c.m.Alloc(j.Components, placement)
+	j.Placement = c.arena.CopyInts(placement)
+	c.last = j
+}
+
+// TestLSSteadyStateZeroAlloc pins the memory-lean pipeline end to end for
+// a fixed LS cycle: sampling a job from a warmed arena, submitting it
+// (queue push, enable-set bookkeeping, placement into shared scratch,
+// dispatch with an arena-carved placement copy) and retiring it must
+// allocate nothing. Any regression — a policy growing per-pass garbage, a
+// queue re-allocating scratch, the arena losing its consolidated block —
+// shows up as a nonzero count here.
+func TestLSSteadyStateZeroAlloc(t *testing.T) {
+	spec := workload.Spec{ComponentLimit: 16, Clusters: 4, ExtensionFactor: 1.25}
+	arena := workload.NewArena()
+	ctx := &arenaCtx{
+		m:       cluster.New([]int{32, 32, 32, 32}),
+		scratch: NewScratch(4),
+		arena:   arena,
+	}
+	p := NewLS(4, cluster.WorstFit)
+	// A mix of 1-, 2- and 3-component totals, cycled deterministically.
+	sizes := []int{5, 24, 48, 17, 3, 31}
+	var id int64
+	si, qi := 0, 0
+	cycle := func() {
+		arena.Reset()
+		j := spec.JobFromDraws(arena, sizes[si], 10)
+		si = (si + 1) % len(sizes)
+		id++
+		j.ID = id
+		j.Queue = qi
+		qi = (qi + 1) % 4
+		p.Submit(ctx, j)
+		if ctx.last != j {
+			t.Fatal("job not dispatched into an empty system")
+		}
+		ctx.last = nil
+		ctx.m.Release(j.Components, j.Placement)
+		p.JobDeparted(ctx, j)
+	}
+	// Warm up: let the arena, queues and enable-set reach capacity.
+	for i := 0; i < 200; i++ {
+		cycle()
+	}
+	if a := testing.AllocsPerRun(500, cycle); a != 0 {
+		t.Fatalf("LS steady-state cycle allocates %.2f times per job, want 0", a)
+	}
+}

@@ -17,6 +17,7 @@ import (
 type FIFO struct {
 	jobs []*workload.Job
 	head int
+	drop map[*workload.Job]bool // reusable RemoveAll scratch, cleared after use
 }
 
 // Push appends a job.
@@ -64,24 +65,51 @@ func (q *FIFO) ForEachWaiting(fn func(idx int, j *workload.Job) bool) {
 	}
 }
 
+// removeAllScanLimit is the batch size up to which RemoveAll membership
+// tests run as a linear identity scan. Backfilling passes start a handful
+// of jobs at a time, so the scan covers the common case without touching
+// the map at all.
+const removeAllScanLimit = 8
+
 // RemoveAll deletes the given jobs (compared by identity) from the queue,
 // preserving the order of the remaining jobs. Jobs not present are
 // ignored. Backfilling uses it to extract the candidates it started from
-// the middle of the queue.
+// the middle of the queue. RemoveAll allocates nothing in the steady
+// state: small batches use a linear scan, larger ones a reusable map that
+// is cleared — not dropped — after the pass, so no job pointers outlive
+// the call.
 func (q *FIFO) RemoveAll(jobs []*workload.Job) {
 	if len(jobs) == 0 {
 		return
 	}
-	drop := make(map[*workload.Job]bool, len(jobs))
-	for _, j := range jobs {
-		drop[j] = true
-	}
 	kept := q.jobs[q.head:]
 	out := kept[:0]
-	for _, j := range kept {
-		if !drop[j] {
-			out = append(out, j)
+	if len(jobs) <= removeAllScanLimit {
+		for _, j := range kept {
+			found := false
+			for _, d := range jobs {
+				if d == j {
+					found = true
+					break
+				}
+			}
+			if !found {
+				out = append(out, j)
+			}
 		}
+	} else {
+		if q.drop == nil {
+			q.drop = make(map[*workload.Job]bool, len(jobs))
+		}
+		for _, j := range jobs {
+			q.drop[j] = true
+		}
+		for _, j := range kept {
+			if !q.drop[j] {
+				out = append(out, j)
+			}
+		}
+		clear(q.drop)
 	}
 	for i := len(out); i < len(kept); i++ {
 		kept[i] = nil

@@ -375,3 +375,52 @@ func TestEnableAllSorted(t *testing.T) {
 		t.Error("disabled list not cleared")
 	}
 }
+
+// TestRemoveAllLargeBatchClearsScratch exercises the map path (batches
+// beyond removeAllScanLimit) and pins the scratch contract: the reusable
+// map must be emptied after the pass so no job pointers outlive the call.
+func TestRemoveAllLargeBatchClearsScratch(t *testing.T) {
+	var q FIFO
+	jobs := make([]*workload.Job, 2*removeAllScanLimit+4)
+	for i := range jobs {
+		jobs[i] = job(int64(i + 1))
+		q.Push(jobs[i])
+	}
+	q.RemoveAll(jobs[:removeAllScanLimit+2]) // > scan limit: map path
+	if q.Len() != len(jobs)-(removeAllScanLimit+2) {
+		t.Fatalf("len %d after large-batch removal", q.Len())
+	}
+	if q.Head() != jobs[removeAllScanLimit+2] {
+		t.Errorf("head %v after removal", q.Head())
+	}
+	if len(q.drop) != 0 {
+		t.Errorf("scratch map retains %d job pointers after RemoveAll", len(q.drop))
+	}
+}
+
+// TestRemoveAllSmallBatchZeroAlloc pins that scan-path removals — the
+// common case in backfilling passes — allocate nothing.
+func TestRemoveAllSmallBatchZeroAlloc(t *testing.T) {
+	var q FIFO
+	jobs := make([]*workload.Job, 64)
+	for i := range jobs {
+		jobs[i] = job(int64(i + 1))
+	}
+	batch := make([]*workload.Job, 0, removeAllScanLimit)
+	cycle := func() {
+		for _, j := range jobs {
+			q.Push(j)
+		}
+		batch = append(batch[:0], jobs[3], jobs[17], jobs[40])
+		q.RemoveAll(batch)
+		for q.Len() > 0 {
+			q.Pop()
+		}
+	}
+	for i := 0; i < 10; i++ {
+		cycle() // warm the backing slice
+	}
+	if a := testing.AllocsPerRun(100, cycle); a != 0 {
+		t.Fatalf("small-batch RemoveAll cycle allocates %.2f per run, want 0", a)
+	}
+}

@@ -65,6 +65,14 @@ func (j *Job) WaitTime() float64 { return j.StartTime - j.ArrivalTime }
 // still becomes 4 components of 32. This mirrors the paper's rule "as long
 // as the number of components does not exceed the number of clusters".
 func Split(total, limit, clusters int) []int {
+	return AppendSplit(nil, total, limit, clusters)
+}
+
+// AppendSplit appends the component sizes of Split(total, limit, clusters)
+// to dst and returns the extended slice. When dst has enough spare
+// capacity (NumComponents elements) no allocation takes place — this is
+// the sampling hot path, fed by Arena-carved slices.
+func AppendSplit(dst []int, total, limit, clusters int) []int {
 	if total <= 0 {
 		panic(fmt.Sprintf("workload: Split with non-positive total %d", total))
 	}
@@ -83,14 +91,14 @@ func Split(total, limit, clusters int) []int {
 	}
 	base := total / n
 	extra := total % n
-	comps := make([]int, n)
-	for i := range comps {
-		comps[i] = base
+	for i := 0; i < n; i++ {
+		c := base
 		if i < extra {
-			comps[i]++
+			c++
 		}
+		dst = append(dst, c) // already nonincreasing: larger components first
 	}
-	return comps // already nonincreasing: larger components first
+	return dst
 }
 
 // NumComponents returns len(Split(total, limit, clusters)) without

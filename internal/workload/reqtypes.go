@@ -51,34 +51,10 @@ func (t RequestType) String() string {
 // total size; for Flexible the simulator rewrites the components at
 // dispatch time to whatever split it chooses, and recomputes the wide-area
 // extension accordingly.
+//
+// Like Sample, the returned Job and its slices are caller-owned.
 func (s *Spec) SampleTyped(t RequestType, sizeStream, svcStream, placeStream *rng.Stream) *Job {
-	switch t {
-	case Unordered:
-		return s.Sample(sizeStream, svcStream)
-	case Ordered:
-		j := s.Sample(sizeStream, svcStream)
-		j.Type = Ordered
-		j.OrderedPlacement = sampleDistinctClusters(placeStream, len(j.Components), s.Clusters)
-		return j
-	case Flexible, Total:
-		total := s.Sizes.Sample(sizeStream)
-		svc := s.Service.Sample(svcStream)
-		j := &Job{
-			Type:        t,
-			TotalSize:   total,
-			Components:  []int{total},
-			ServiceTime: svc,
-		}
-		j.ExtendedServiceTime = svc
-		if t == Flexible && NumComponents(total, s.ComponentLimit, s.Clusters) > 1 {
-			// Provisional estimate for offered-load arithmetic; the
-			// dispatcher recomputes it from the actual split.
-			j.ExtendedServiceTime = svc * s.ExtensionFactor
-		}
-		return j
-	default:
-		panic(fmt.Sprintf("workload: unknown request type %d", int(t)))
-	}
+	return s.SampleTypedInto(nil, t, sizeStream, svcStream, placeStream)
 }
 
 // sampleDistinctClusters draws k distinct cluster indices out of n,

@@ -53,20 +53,13 @@ func (s *Spec) Validate() error {
 
 // Sample draws one job (sizes, components, service time). The caller
 // assigns ID, arrival time and queue.
+//
+// The returned Job and its slices are owned by the caller: they are
+// freshly heap-allocated and never aliased by later Sample calls, so
+// callers may retain or mutate them freely. (Arena-backed sampling via
+// SampleInto has the opposite contract — see Arena.)
 func (s *Spec) Sample(sizeStream, svcStream *rng.Stream) *Job {
-	total := s.Sizes.Sample(sizeStream)
-	comps := Split(total, s.ComponentLimit, s.Clusters)
-	svc := s.Service.Sample(svcStream)
-	ext := svc
-	if len(comps) > 1 {
-		ext = svc * s.ExtensionFactor
-	}
-	return &Job{
-		TotalSize:           total,
-		Components:          comps,
-		ServiceTime:         svc,
-		ExtendedServiceTime: ext,
-	}
+	return s.SampleInto(nil, sizeStream, svcStream)
 }
 
 // MeanGrossWork returns the expected gross work per job in

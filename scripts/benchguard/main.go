@@ -1,0 +1,121 @@
+// Command benchguard gates allocation regressions in CI. It reads
+// `go test -bench -benchmem` output on stdin and compares allocs/op
+// against a snapshot recorded by scripts/benchjson:
+//
+//	go test -run '^$' -bench . -benchtime 1x -benchmem . |
+//	    go run ./scripts/benchguard -record BENCH_2.json -key smoke
+//
+// Benchmarks matching -match (default: the two macro benchmarks, Fig5 and
+// BackfillPolicies/*) fail the run when their allocs/op exceed the
+// recorded value by more than -max-regress (default 10%). A recorded
+// matching benchmark missing from the fresh output also fails — a
+// benchmark that silently stops running guards nothing.
+//
+// Compare like with like: the recorded key must have been measured at the
+// same -benchtime as the guarded run (single-shot runs include warm-up
+// allocations that amortized runs do not).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchResult mirrors the scripts/benchjson record shape.
+type benchResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Iterations  int64   `json:"iterations"`
+}
+
+type snapshot struct {
+	Meta       map[string]string      `json:"meta,omitempty"`
+	Benchmarks map[string]benchResult `json:"benchmarks"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+func main() {
+	record := flag.String("record", "BENCH_2.json", "benchmark record written by scripts/benchjson")
+	key := flag.String("key", "smoke", "snapshot key holding the reference measurements")
+	match := flag.String("match", `^BenchmarkFig5$|^BenchmarkBackfillPolicies/`, "regexp selecting the guarded benchmarks")
+	maxRegress := flag.Float64("max-regress", 0.10, "allowed fractional allocs/op increase over the record")
+	flag.Parse()
+
+	guard, err := regexp.Compile(*match)
+	if err != nil {
+		fatal(fmt.Errorf("bad -match: %w", err))
+	}
+	data, err := os.ReadFile(*record)
+	if err != nil {
+		fatal(err)
+	}
+	recorded := map[string]snapshot{}
+	if err := json.Unmarshal(data, &recorded); err != nil {
+		fatal(fmt.Errorf("%s: %w", *record, err))
+	}
+	ref, ok := recorded[*key]
+	if !ok {
+		fatal(fmt.Errorf("%s has no %q snapshot; run `make bench-record` first", *record, *key))
+	}
+
+	fresh := map[string]float64{}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass through so the run stays readable
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil || m[5] == "" {
+			continue
+		}
+		allocs, err := strconv.ParseFloat(m[5], 64)
+		if err != nil {
+			continue
+		}
+		fresh[m[1]] = allocs
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+
+	names := make([]string, 0, len(ref.Benchmarks))
+	for name := range ref.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := false
+	for _, name := range names {
+		rec := ref.Benchmarks[name]
+		if !guard.MatchString(name) || rec.AllocsPerOp == 0 {
+			continue
+		}
+		got, ok := fresh[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchguard: %s recorded in %s but missing from this run\n", name, *record)
+			failed = true
+			continue
+		}
+		limit := rec.AllocsPerOp * (1 + *maxRegress)
+		if got > limit {
+			fmt.Fprintf(os.Stderr, "benchguard: %s allocates %.0f/op, recorded %.0f/op (limit %.0f, +%.0f%%)\n",
+				name, got, rec.AllocsPerOp, limit, *maxRegress*100)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchguard: allocs/op within %.0f%% of the %q record\n", *maxRegress*100, *key)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}
