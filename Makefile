@@ -4,7 +4,7 @@ GO ?= go
 
 # The hot-path benchmarks recorded in BENCH_1.json. Table/Fig benchmarks
 # ride along so end-to-end regeneration time is tracked too.
-BENCHES = BenchmarkEngineEventRate|BenchmarkPolicyThroughput|BenchmarkBackfillPolicies|BenchmarkTable1|BenchmarkFig5
+BENCHES = BenchmarkEngineEventRate|BenchmarkPolicyThroughput|BenchmarkBackfillPolicies|BenchmarkTable1|BenchmarkFig5|BenchmarkFaultPathDisabled
 
 .PHONY: verify test bench bench-smoke bench-baseline bench-record lint fmt-check
 
@@ -21,11 +21,12 @@ verify: fmt-check
 test:
 	$(GO) test ./...
 
-# lint runs the detlint static-analysis suite: the determinism and
-# pooling invariants (nowallclock, noglobalrand, nomaprange,
-# eventretain, jobretain). `go run ./cmd/mclint -help` prints the rule
-# catalog.
+# lint runs go vet plus the detlint static-analysis suite: the
+# determinism and pooling invariants (nowallclock, noglobalrand,
+# nomaprange, eventretain, jobretain). `go run ./cmd/mclint -help`
+# prints the rule catalog.
 lint:
+	$(GO) vet ./...
 	$(GO) run ./cmd/mclint ./...
 
 # fmt-check fails when any file drifts from gofmt.

@@ -14,6 +14,7 @@ import (
 	"coalloc/internal/core"
 	"coalloc/internal/dastrace"
 	"coalloc/internal/experiments"
+	"coalloc/internal/faults"
 	"coalloc/internal/rng"
 	"coalloc/internal/sim"
 	"coalloc/internal/workload"
@@ -262,6 +263,36 @@ func BenchmarkBackfillPolicies(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkFaultPathDisabled measures the open-system hot loop with a
+// zero-failure-rate fault spec attached. The spec is disabled, so the run
+// must cost the same as a plain run — the benchmark pins the "faults off
+// means zero overhead" contract (no fault events, no registry tracking,
+// no extra allocations) that the guardrail test pins for outputs.
+func BenchmarkFaultPathDisabled(b *testing.B) {
+	der := workload.DeriveDefault()
+	spec := workload.Spec{
+		Sizes:           der.Sizes128,
+		Service:         der.Service,
+		ComponentLimit:  16,
+		Clusters:        4,
+		ExtensionFactor: workload.DefaultExtensionFactor,
+	}
+	for i := 0; i < b.N; i++ {
+		cfg := core.Config{
+			ClusterSizes: []int{32, 32, 32, 32},
+			Spec:         spec,
+			Policy:       "LS",
+			WarmupJobs:   100,
+			MeasureJobs:  5000,
+			Seed:         uint64(i + 1),
+			Faults:       &faults.Spec{MTBF: 0, MTTR: 900},
+		}
+		if _, err := core.RunAtUtilization(cfg, 0.5); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -7,8 +7,9 @@
 //	mcexp list
 //
 // Experiments: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 fig6 fig7
-// ratio workload. Use -quick for reduced run lengths, -data DIR to also
-// write CSV files with the plotted points.
+// ratio workload, plus the ablations and the fault-injection extension
+// (`mcexp list` prints them all). Use -quick for reduced run lengths,
+// -data DIR to also write CSV files with the plotted points.
 package main
 
 import (
@@ -29,6 +30,7 @@ func main() {
 	progress := flag.Bool("progress", false, "print one line per completed sweep point (stderr)")
 	metrics := flag.Bool("metrics", false, "print an aggregate metrics summary after the experiments")
 	pergen := flag.Bool("pergen", false, "regenerate the workload inside every policy run instead of sharing a per-point trace (ablation; results are identical)")
+	mttr := flag.Float64("mttr", 0, "mean processor repair time in s for the faults experiment (0 = 900 s default)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: mcexp [flags] <experiment>...|all|list\n\nexperiments:\n")
@@ -62,6 +64,7 @@ func main() {
 		params.MeasureJobs = *measure
 	}
 	params.DataDir = *dataDir
+	params.FaultMTTR = *mttr
 	if *pprofAddr != "" {
 		if err := obs.StartPprof(*pprofAddr); err != nil {
 			fmt.Fprintf(os.Stderr, "mcexp: %v\n", err)

@@ -7,6 +7,7 @@
 //	mcsim -policy SC -util 0.6 -jobs 50000
 //	mcsim -policy LP -limit 32 -unbalanced -util 0.45
 //	mcsim -policy GS -limit 24 -backlog    # maximal-utilization run
+//	mcsim -policy LS -util 0.4 -mtbf 2000  # with processor failures
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 
 	"coalloc/internal/cluster"
 	"coalloc/internal/core"
+	"coalloc/internal/faults"
 	"coalloc/internal/obs"
 	"coalloc/internal/workload"
 )
@@ -36,6 +38,10 @@ func main() {
 	fit := flag.String("fit", "WF", "placement rule: WF, FF or BF")
 	clusters := flag.String("clusters", "", "comma-separated cluster sizes (default 32,32,32,32; SC uses 128)")
 	backlog := flag.Bool("backlog", false, "run a constant-backlog (maximal utilization) simulation instead")
+	mtbf := flag.Float64("mtbf", 0, "per-cluster mean time between processor failures in s (0 = no failures)")
+	mttr := flag.Float64("mttr", 900, "mean time to repair a failed processor in s")
+	retryBase := flag.Float64("retry-base", 10, "base resubmit backoff for killed jobs in s")
+	retryCap := flag.Float64("retry-cap", 600, "resubmit backoff cap in s")
 	metrics := flag.Bool("metrics", false, "print a metrics summary block after the results")
 	tracePath := flag.String("trace", "", "write a JSONL event trace to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -97,6 +103,9 @@ func main() {
 	}
 
 	if *backlog {
+		if *mtbf > 0 {
+			fatalf("-mtbf cannot be combined with -backlog (constant-backlog runs measure reliable-hardware capacity)")
+		}
 		res, err := core.RunBacklog(core.BacklogConfig{
 			ClusterSizes: clusterSizes,
 			Spec:         spec,
@@ -131,6 +140,14 @@ func main() {
 		NoWarmup:     *warmup == 0,
 		MeasureJobs:  *jobs,
 		Seed:         *seed,
+	}
+	if *mtbf > 0 {
+		cfg.Faults = &faults.Spec{
+			MTBF:      *mtbf,
+			MTTR:      *mttr,
+			RetryBase: *retryBase,
+			RetryCap:  *retryCap,
+		}
 	}
 	var observer *obs.Observer
 	var traceFile *os.File
@@ -179,6 +196,13 @@ func main() {
 	fmt.Printf("jobs measured       %d\n", res.Jobs)
 	fmt.Printf("queue at end        %d\n", res.FinalQueue)
 	fmt.Printf("saturated           %v\n", res.Saturated)
+	if *mtbf > 0 {
+		fmt.Printf("failures injected   %d (skipped %d, repairs %d)\n",
+			res.FailuresInjected, res.FailuresSkipped, res.Repairs)
+		fmt.Printf("jobs killed         %d (resubmits %d)\n", res.JobsKilled, res.Resubmits)
+		fmt.Printf("work lost           %.0f proc-s\n", res.WorkLost)
+		fmt.Printf("mean avail fraction %.4f\n", res.MeanAvailableFraction)
+	}
 	if *metrics {
 		fmt.Println()
 		fmt.Println("--- metrics ---")

@@ -37,19 +37,25 @@ func (f Fit) String() string {
 	}
 }
 
-// Multicluster tracks the processors of C clusters.
+// Multicluster tracks the processors of C clusters. Processors are in one
+// of three states: idle, busy, or down (failed, awaiting repair); idle
+// never counts down processors, so the placement rules need no knowledge
+// of failures.
 type Multicluster struct {
-	sizes []int
-	idle  []int
-	busy  int // total busy processors, cached
-	cap   int
+	sizes     []int
+	idle      []int
+	down      []int // failed processors per cluster
+	busy      int   // total busy processors, cached
+	downTotal int   // total failed processors, cached
+	cap       int
 
-	// Reusable scratch so the per-event Fits/Alloc checks are
+	// Reusable scratch so the per-event Fits/Alloc/Release checks are
 	// allocation-free. A Multicluster is single-simulation state and is
 	// never shared across goroutines, so plain fields suffice.
 	scrPlace []int
 	scrUsed  []bool
 	scrSeen  []bool
+	scrRel   []int
 }
 
 // New returns a multicluster with the given per-cluster processor counts.
@@ -60,9 +66,11 @@ func New(sizes []int) *Multicluster {
 	m := &Multicluster{
 		sizes:    make([]int, len(sizes)),
 		idle:     make([]int, len(sizes)),
+		down:     make([]int, len(sizes)),
 		scrPlace: make([]int, len(sizes)),
 		scrUsed:  make([]bool, len(sizes)),
 		scrSeen:  make([]bool, len(sizes)),
+		scrRel:   make([]int, len(sizes)),
 	}
 	for i, s := range sizes {
 		if s <= 0 {
@@ -100,7 +108,48 @@ func (m *Multicluster) Idle(c int) int { return m.idle[c] }
 func (m *Multicluster) Busy() int { return m.busy }
 
 // TotalIdle returns the total number of idle processors.
-func (m *Multicluster) TotalIdle() int { return m.cap - m.busy }
+func (m *Multicluster) TotalIdle() int { return m.cap - m.busy - m.downTotal }
+
+// Down returns the failed (not yet repaired) processor count of cluster c.
+func (m *Multicluster) Down(c int) int { return m.down[c] }
+
+// Avail returns the number of up processors of cluster c: its size minus
+// its failed processors, whether idle or busy.
+func (m *Multicluster) Avail(c int) int { return m.sizes[c] - m.down[c] }
+
+// TotalAvail returns the number of up processors across all clusters.
+func (m *Multicluster) TotalAvail() int { return m.cap - m.downTotal }
+
+// Fail marks one idle processor of cluster c as failed. The processor must
+// be idle: a failure that lands on a fully busy cluster must first abort a
+// running job there so its processors are released — Fail panics otherwise,
+// which is exactly the invariant check on that victim-selection step (the
+// victim must have had a component on c).
+func (m *Multicluster) Fail(c int) {
+	if c < 0 || c >= len(m.sizes) {
+		panic(fmt.Sprintf("cluster: Fail names cluster %d of %d", c, len(m.sizes)))
+	}
+	if m.idle[c] <= 0 {
+		panic(fmt.Sprintf("cluster: Fail on cluster %d with no idle processor (abort a victim first)", c))
+	}
+	m.idle[c]--
+	m.down[c]++
+	m.downTotal++
+}
+
+// Repair returns one failed processor of cluster c to the idle pool. It
+// panics when cluster c has no failed processor.
+func (m *Multicluster) Repair(c int) {
+	if c < 0 || c >= len(m.sizes) {
+		panic(fmt.Sprintf("cluster: Repair names cluster %d of %d", c, len(m.sizes)))
+	}
+	if m.down[c] <= 0 {
+		panic(fmt.Sprintf("cluster: Repair on cluster %d with no failed processor", c))
+	}
+	m.down[c]--
+	m.downTotal--
+	m.idle[c]++
+}
 
 // Place chooses distinct clusters for the components (which must be in
 // nonincreasing order) under the given fit rule. It returns the cluster
@@ -277,17 +326,35 @@ func (m *Multicluster) Alloc(components, placement []int) {
 }
 
 // Release returns the processors named by placement. It panics on
-// over-release.
+// over-release: releasing a placement that was never allocated must fail
+// loudly, not corrupt the idle counts. The check accumulates the released
+// processors per cluster before applying anything — a per-component test
+// alone would accept a placement naming the same cluster twice whose
+// components individually fit under the size but cumulatively do not.
 func (m *Multicluster) Release(components, placement []int) {
 	if len(components) != len(placement) {
 		panic(fmt.Sprintf("cluster: Release with %d components but %d placements",
 			len(components), len(placement)))
 	}
+	add := m.scrRel
+	for i := range add {
+		add[i] = 0
+	}
+	total := 0
 	for i, c := range placement {
-		if m.idle[c]+components[i] > m.sizes[c] {
-			panic(fmt.Sprintf("cluster: Release of %d on cluster %d exceeds size %d",
-				components[i], c, m.sizes[c]))
+		if c < 0 || c >= len(m.sizes) {
+			panic(fmt.Sprintf("cluster: Release placement %d names cluster %d of %d",
+				i, c, len(m.sizes)))
 		}
+		add[c] += components[i]
+		total += components[i]
+		if m.idle[c]+add[c] > m.sizes[c]-m.down[c] {
+			panic(fmt.Sprintf("cluster: Release of %d on cluster %d with %d idle exceeds its %d up processors",
+				add[c], c, m.idle[c], m.sizes[c]-m.down[c]))
+		}
+	}
+	if total > m.busy {
+		panic(fmt.Sprintf("cluster: Release of %d processors with only %d busy", total, m.busy))
 	}
 	for i, c := range placement {
 		m.idle[c] += components[i]
@@ -295,10 +362,12 @@ func (m *Multicluster) Release(components, placement []int) {
 	}
 }
 
-// Reset marks every processor idle.
+// Reset marks every processor idle and repairs every failed one.
 func (m *Multicluster) Reset() {
 	for i := range m.idle {
 		m.idle[i] = m.sizes[i]
+		m.down[i] = 0
 	}
 	m.busy = 0
+	m.downTotal = 0
 }

@@ -181,6 +181,85 @@ func TestReleasePanics(t *testing.T) {
 	}()
 }
 
+// TestReleaseDuplicateClusterPanics pins the cumulative overflow check: a
+// placement naming the same cluster twice, whose components individually
+// fit under the cluster size but together exceed it, must panic — and must
+// leave the counts untouched, because the check runs before any mutation.
+// (A per-component check alone would accept this placement: each 20 fits
+// within 12 idle + 20 <= 32, and the 40 total does not exceed the 40 busy.)
+func TestReleaseDuplicateClusterPanics(t *testing.T) {
+	m := New([]int{32, 32})
+	m.Alloc([]int{20}, []int{0})
+	m.Alloc([]int{20}, []int{1})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate-cluster over-release did not panic")
+			}
+		}()
+		m.Release([]int{20, 20}, []int{0, 0})
+	}()
+	if m.Idle(0) != 12 || m.Idle(1) != 12 || m.Busy() != 40 {
+		t.Errorf("rejected release mutated state: idle %d/%d busy %d",
+			m.Idle(0), m.Idle(1), m.Busy())
+	}
+}
+
+func TestFailRepair(t *testing.T) {
+	m := New([]int{4, 4})
+	m.Fail(0)
+	if m.Down(0) != 1 || m.Idle(0) != 3 || m.Avail(0) != 3 {
+		t.Errorf("after Fail: down %d idle %d avail %d", m.Down(0), m.Idle(0), m.Avail(0))
+	}
+	if m.TotalAvail() != 7 || m.TotalIdle() != 7 {
+		t.Errorf("after Fail: total avail %d idle %d", m.TotalAvail(), m.TotalIdle())
+	}
+	m.Alloc([]int{3}, []int{0})
+	if m.TotalIdle() != 4 || m.Avail(0) != 3 {
+		t.Errorf("after Alloc on degraded cluster: total idle %d avail %d", m.TotalIdle(), m.Avail(0))
+	}
+	m.Repair(0)
+	if m.Down(0) != 0 || m.Idle(0) != 1 || m.Avail(0) != 4 || m.TotalAvail() != 8 {
+		t.Errorf("after Repair: down %d idle %d avail %d total %d",
+			m.Down(0), m.Idle(0), m.Avail(0), m.TotalAvail())
+	}
+}
+
+func TestFailRepairPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(*Multicluster)
+	}{
+		{"Fail out of range", func(m *Multicluster) { m.Fail(2) }},
+		{"Repair out of range", func(m *Multicluster) { m.Repair(-1) }},
+		{"Repair with nothing down", func(m *Multicluster) { m.Repair(0) }},
+		{"Fail with no idle", func(m *Multicluster) {
+			m.Alloc([]int{4}, []int{0})
+			m.Fail(0)
+		}},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", c.name)
+				}
+			}()
+			c.f(New([]int{4, 4}))
+		}()
+	}
+}
+
+func TestResetRepairsFailures(t *testing.T) {
+	m := New([]int{4, 4})
+	m.Fail(0)
+	m.Fail(1)
+	m.Reset()
+	if m.Down(0) != 0 || m.Down(1) != 0 || m.TotalAvail() != 8 || m.TotalIdle() != 8 {
+		t.Error("Reset left processors down")
+	}
+}
+
 func TestFitsOn(t *testing.T) {
 	m := New([]int{32, 32})
 	m.Alloc([]int{30}, []int{0})

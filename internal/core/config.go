@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"coalloc/internal/cluster"
+	"coalloc/internal/faults"
 	"coalloc/internal/obs"
 	"coalloc/internal/policies"
 	"coalloc/internal/workload"
@@ -66,6 +67,14 @@ type Config struct {
 	// replicated run shares workloads: return nil to fall back to live
 	// sampling for that seed.
 	TraceProvider func(seed uint64) *Trace
+	// Faults, when non-nil with a positive MTBF, injects per-cluster
+	// processor failure/repair processes into the run (see package
+	// faults). The fault draws come from their own named streams, so a
+	// workload trace stays valid under any failure rate. A nil or
+	// zero-rate spec leaves the run bit-identical to a fault-free one —
+	// pinned by a guardrail test. Only the fault-aware policies (GS, SC,
+	// LS, LP, GS-SPF and variants) accept a fault spec.
+	Faults *faults.Spec
 }
 
 func (c *Config) applyDefaults() {
@@ -76,6 +85,12 @@ func (c *Config) applyDefaults() {
 	}
 	if c.MeasureJobs == 0 {
 		c.MeasureJobs = 20000
+	}
+	if c.Faults != nil && !c.Faults.Enabled() {
+		// A zero-rate spec is "no faults": normalizing it to nil here
+		// guarantees the simulation takes the exact fault-free code
+		// path, not merely an equivalent one.
+		c.Faults = nil
 	}
 }
 
@@ -101,7 +116,8 @@ func (c *Config) Validate() error {
 	if c.WarmupJobs < 0 || c.MeasureJobs <= 0 {
 		return fmt.Errorf("core: warmup %d / measure %d jobs", c.WarmupJobs, c.MeasureJobs)
 	}
-	if _, err := buildPolicy(c.Policy, len(c.ClusterSizes), c.Fit); err != nil {
+	pol, err := buildPolicy(c.Policy, len(c.ClusterSizes), c.Fit)
+	if err != nil {
 		return err
 	}
 	if c.RequestType != workload.Unordered && c.Policy != "GS" && c.Policy != "SC" {
@@ -110,6 +126,14 @@ func (c *Config) Validate() error {
 	}
 	if (c.Trace != nil || c.TraceProvider != nil) && c.RequestType != workload.Unordered {
 		return fmt.Errorf("core: workload traces support unordered requests, not %s", c.RequestType)
+	}
+	if c.Faults.Enabled() {
+		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
+		if _, ok := pol.(policies.FaultAware); !ok {
+			return fmt.Errorf("core: policy %s does not support fault injection (backfilling policies track running jobs and cannot have them aborted)", c.Policy)
+		}
 	}
 	return nil
 }
@@ -257,4 +281,20 @@ type Result struct {
 	// UtilizationImbalance is the spread max - min of the per-cluster
 	// utilizations.
 	UtilizationImbalance float64
+	// Fault-injection outcomes (zero when Config.Faults is nil). The
+	// counts cover the whole run, warmup included — failures do not stop
+	// during warmup, so a windowed count would misstate the injected
+	// process. Merged replications sum them.
+	FailuresInjected int
+	FailuresSkipped  int
+	Repairs          int
+	JobsKilled       int
+	Resubmits        int
+	// WorkLost is the processor-seconds of service discarded by aborts
+	// over the whole run.
+	WorkLost float64
+	// MeanAvailableFraction is the time-average fraction of processors
+	// not down over the measurement window; 1 exactly when faults are
+	// disabled.
+	MeanAvailableFraction float64
 }

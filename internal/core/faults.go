@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+
+	"coalloc/internal/faults"
+	"coalloc/internal/rng"
+	"coalloc/internal/sim"
+	"coalloc/internal/workload"
+)
+
+// faultState carries the fault-injection machinery of one run: the injector
+// (streams and stats) and a registry of every running job with its pending
+// departure event. The registry exists because aborting a job on failure
+// must cancel its departure — the one place the simulation needs to keep an
+// event handle beyond the scheduling call.
+type faultState struct {
+	inj *faults.Injector
+
+	// running and departures are parallel: departures[i] is the pending
+	// departure event of running[i]. Entries leave the registry exactly
+	// when the departure fires (untrack, from depart) or when an abort
+	// cancels it (removeAt, from abortRunning) — a handle is never held
+	// past its event's lifetime.
+	running    []*workload.Job
+	departures []sim.Event //detlint:ignore eventretain registry entries are removed when the departure fires or is cancelled; no handle outlives its event
+
+	// killedPending counts jobs aborted by a failure whose resubmission
+	// backoff has not yet elapsed. They are in the system but neither
+	// queued nor running, so Result.FinalQueue adds this count.
+	killedPending int
+}
+
+// newFaultState builds the injector from the run's RNG source. The fault
+// streams are named independently of the workload streams, so attaching
+// faults never perturbs the sampled job sequence.
+func newFaultState(spec faults.Spec, clusters int, src *rng.Source) *faultState {
+	return &faultState{inj: faults.NewInjector(spec, clusters, src)}
+}
+
+// track registers a dispatched job and its departure event.
+func (f *faultState) track(j *workload.Job, ev sim.Event) {
+	f.running = append(f.running, j)
+	f.departures = append(f.departures, ev) //detlint:ignore eventretain handle is dropped in untrack (departure fired) or removeAt (abort cancelled it)
+}
+
+// untrack drops a departed job from the registry. The scan runs backward:
+// departures correlate with recent dispatches, so the match is near the
+// tail. A missing job is a bookkeeping bug and panics.
+func (f *faultState) untrack(j *workload.Job) {
+	for i := len(f.running) - 1; i >= 0; i-- {
+		if f.running[i] == j {
+			f.removeAt(i)
+			return
+		}
+	}
+	panic(fmt.Sprintf("core: departed job %d missing from the fault registry", j.ID))
+}
+
+// removeAt swap-removes registry entry i. Swap-remove perturbs the
+// registry's order, which is safe because victim selection is a total order
+// over the jobs themselves (start time, then ID) — see faults.SelectVictim.
+func (f *faultState) removeAt(i int) {
+	last := len(f.running) - 1
+	f.running[i] = f.running[last]
+	f.running[last] = nil
+	f.running = f.running[:last]
+	f.departures[i] = f.departures[last] //detlint:ignore eventretain swap-remove keeps the moved live handle; the vacated slot is cleared below
+	f.departures[last] = sim.Event{}     //detlint:ignore eventretain zeroing the vacated slot so no stale handle is retained
+	f.departures = f.departures[:last]
+}
+
+// nodeFail applies one failure event on cluster c: reschedule the cluster's
+// next failure (the Poisson process never stops), then shrink capacity by
+// one processor. An idle processor absorbs the failure silently; a fully
+// busy cluster costs the most recently started occupant its job; a fully
+// down cluster skips the failure. The repair is scheduled only when a
+// processor actually went down.
+func (s *simulation) nodeFail(c int) {
+	now := s.eng.Now()
+	s.eng.ScheduleAfter(s.flt.inj.NextFailure(c), evNodeFail, c)
+	if s.m.Avail(c) == 0 {
+		s.flt.inj.Stats.Skipped++
+		s.obs.FaultSkipped(c)
+		return
+	}
+	var victim *workload.Job
+	if s.m.Idle(c) == 0 {
+		idx := faults.SelectVictim(s.flt.running, c)
+		victim = s.flt.running[idx]
+		s.abortRunning(idx, c, now)
+	}
+	s.m.Fail(c)
+	s.flt.inj.Stats.Failures++
+	s.availCap.Set(now, float64(s.m.TotalAvail()))
+	s.obs.NodeFailed(now, c, s.m.TotalAvail())
+	s.eng.ScheduleAfter(s.flt.inj.RepairDelay(c), evNodeRepair, c)
+	if victim != nil {
+		// Notified after Fail so the policy's pass sees the post-failure
+		// capacity: the abort released the victim's processors on every
+		// cluster except the one the failure just consumed.
+		s.faultPol.JobKilled(s, victim)
+		if s.obs != nil {
+			s.obs.QueueDepth(s.pol.Queued())
+		}
+	}
+}
+
+// abortRunning kills registry entry idx because of a failure on cluster c:
+// cancel its departure, release its processors, undo its work accounting,
+// and schedule its resubmission after a capped exponential backoff. The
+// job keeps its original arrival time, so its eventual response time
+// includes everything the failure cost it.
+func (s *simulation) abortRunning(idx, c int, now float64) {
+	j := s.flt.running[idx]
+	ev := s.flt.departures[idx]
+	s.flt.removeAt(idx)
+	if !s.eng.Cancel(ev) {
+		panic(fmt.Sprintf("core: departure of aborted job %d was not pending", j.ID))
+	}
+	lost := (now - j.StartTime) * float64(j.TotalSize)
+	s.m.Release(j.Components, j.Placement)
+	s.busy.Set(now, float64(s.m.Busy()))
+	for i, pc := range j.Placement {
+		s.busyPer[pc].Add(now, -float64(j.Components[i]))
+	}
+	if s.measuring && j.StartTime >= s.measureFrom {
+		// Dispatch charged the full service to the utilization integrals;
+		// the job will be recharged when it is dispatched again.
+		s.grossWork -= float64(j.TotalSize) * j.ExtendedServiceTime
+		s.netWork -= float64(j.TotalSize) * j.ServiceTime
+	}
+	j.Retries++
+	s.flt.inj.Stats.Kills++
+	s.flt.inj.Stats.WorkLost += lost
+	s.flt.killedPending++
+	s.obs.JobKilled(now, j.ID, c, lost)
+	s.eng.ScheduleAfter(s.flt.inj.Spec.Backoff(j.Retries), evResubmit, j)
+}
+
+// nodeRepair returns one processor of cluster c to service and gives the
+// policy a scheduling opportunity under the departure ordering contract.
+func (s *simulation) nodeRepair(c int) {
+	now := s.eng.Now()
+	s.m.Repair(c)
+	s.flt.inj.Stats.Repairs++
+	s.availCap.Set(now, float64(s.m.TotalAvail()))
+	s.obs.NodeRepaired(now, c, s.m.TotalAvail())
+	s.faultPol.CapacityRestored(s)
+	if s.obs != nil {
+		s.obs.QueueDepth(s.pol.Queued())
+	}
+}
+
+// resubmit re-queues an aborted job after its backoff. The job re-enters
+// through the policy's normal Submit path (FCFS puts it at the tail — an
+// abort forfeits the queue position along with the work).
+func (s *simulation) resubmit(j *workload.Job) {
+	now := s.eng.Now()
+	s.flt.inj.Stats.Resubmits++
+	s.flt.killedPending--
+	s.obs.JobResubmitted(now, j.ID, j.Retries)
+	s.pol.Submit(s, j)
+	if s.obs != nil {
+		s.obs.QueueDepth(s.pol.Queued())
+	}
+}

@@ -49,6 +49,13 @@ type PrecisionResult struct {
 
 // RunUntilPrecision runs replications until the confidence target is met.
 func RunUntilPrecision(cfg PrecisionConfig) (PrecisionResult, error) {
+	if cfg.MinReplications == 1 {
+		// Checked before the defaults fill in: the generic bounds error
+		// below would blame the pair ("bounds 1..20") when the actual
+		// problem is that a single replication has no variance estimate.
+		return PrecisionResult{}, fmt.Errorf(
+			"core: MinReplications 1 cannot estimate a confidence half-width; use at least 2, or leave it 0 for the default of 3")
+	}
 	cfg.applyDefaults()
 	if cfg.RelativePrecision <= 0 {
 		return PrecisionResult{}, fmt.Errorf("core: relative precision %g must be positive", cfg.RelativePrecision)

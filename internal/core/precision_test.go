@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -108,5 +109,50 @@ func TestRunUntilPrecisionValidation(t *testing.T) {
 		Run: base, RelativePrecision: 0.1, MinReplications: 1, MaxReplications: 2,
 	}); err == nil {
 		t.Error("min replications below 2 accepted")
+	}
+	// An explicit single replication must get the specific diagnosis, not
+	// the generic bounds error (which used to read "bounds 1..20" and
+	// suggested the pair was malformed rather than the 1 itself).
+	_, err := RunUntilPrecision(PrecisionConfig{Run: base, RelativePrecision: 0.1, MinReplications: 1})
+	if err == nil {
+		t.Fatal("MinReplications 1 accepted")
+	}
+	if !strings.Contains(err.Error(), "confidence half-width") || strings.Contains(err.Error(), "bounds") {
+		t.Errorf("MinReplications 1 error = %q, want the half-width explanation", err)
+	}
+}
+
+// TestRunUntilPrecisionNonConvergedAtMinBound pins the non-converged path
+// at the smallest legal configuration: exactly 2 replications with an
+// unreachable target must report Converged == false with a finite achieved
+// precision, not an error.
+func TestRunUntilPrecisionNonConvergedAtMinBound(t *testing.T) {
+	spec := testSpec(t, 16, 4)
+	base := Config{
+		ClusterSizes: []int{32, 32, 32, 32},
+		Spec:         spec,
+		Policy:       "GS",
+		WarmupJobs:   100,
+		MeasureJobs:  500,
+		Seed:         11,
+		ArrivalRate:  spec.ArrivalRateForGrossUtilization(0.4, 128),
+	}
+	res, err := RunUntilPrecision(PrecisionConfig{
+		Run:               base,
+		RelativePrecision: 1e-9,
+		MinReplications:   2,
+		MaxReplications:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Error("converged at a 1e-9 relative precision in 2 replications")
+	}
+	if res.Replications != 2 {
+		t.Errorf("replications %d, want 2", res.Replications)
+	}
+	if math.IsInf(res.AchievedRelative, 0) || math.IsNaN(res.AchievedRelative) || res.AchievedRelative <= 0 {
+		t.Errorf("achieved relative precision %g, want finite positive", res.AchievedRelative)
 	}
 }

@@ -22,6 +22,12 @@ import (
 const (
 	evArrival int32 = iota
 	evDeparture
+	// Fault-injection events (scheduled only when Config.Faults is
+	// enabled). The node events carry the cluster index as payload —
+	// converting a small int to an interface is allocation-free.
+	evNodeFail
+	evNodeRepair
+	evResubmit
 )
 
 // arenaPool recycles job arenas across runs: a finished run resets its
@@ -77,6 +83,12 @@ type simulation struct {
 	netWork     float64
 	measureFrom float64
 	queueAtWarm int
+
+	// Fault injection (nil / unused unless Config.Faults is enabled; the
+	// fault-free hot path pays one nil compare per departure).
+	flt      *faultState //detlint:ignore eventretain the registry inside drops each handle when its departure fires or is cancelled (see faultState)
+	faultPol policies.FaultAware
+	availCap stats.TimeWeighted
 }
 
 var _ policies.Ctx = (*simulation)(nil)
@@ -117,7 +129,10 @@ func (s *simulation) Dispatch(j *workload.Job, placement []int) {
 		s.netWork += float64(j.TotalSize) * j.ServiceTime
 	}
 	s.obs.Start(now, j.ID, now-j.ArrivalTime, placement)
-	s.eng.ScheduleAfter(j.ExtendedServiceTime, evDeparture, j)
+	ev := s.eng.ScheduleAfter(j.ExtendedServiceTime, evDeparture, j)
+	if s.flt != nil {
+		s.flt.track(j, ev)
+	}
 }
 
 // handleEvent dispatches the typed events of the open-system loop.
@@ -127,6 +142,12 @@ func (s *simulation) handleEvent(kind int32, payload any) {
 		s.arrive()
 	case evDeparture:
 		s.depart(payload.(*workload.Job))
+	case evNodeFail:
+		s.nodeFail(payload.(int))
+	case evNodeRepair:
+		s.nodeRepair(payload.(int))
+	case evResubmit:
+		s.resubmit(payload.(*workload.Job))
 	default:
 		panic(fmt.Sprintf("core: unknown event kind %d", kind))
 	}
@@ -137,6 +158,9 @@ func (s *simulation) handleEvent(kind int32, payload any) {
 func (s *simulation) depart(j *workload.Job) {
 	now := s.eng.Now()
 	j.FinishTime = now
+	if s.flt != nil {
+		s.flt.untrack(j)
+	}
 	s.obs.Departure(now, j.ID, j.ResponseTime())
 	s.m.Release(j.Components, j.Placement)
 	s.busy.Set(now, float64(s.m.Busy()))
@@ -189,6 +213,9 @@ func (s *simulation) startMeasuring(now float64) {
 	s.quantiles.Reset()
 	s.grossWork, s.netWork = 0, 0
 	s.queueAtWarm = s.pol.Queued()
+	if s.flt != nil {
+		s.availCap.StartAt(now, s.availCap.Level())
+	}
 }
 
 // routeQueue samples a local queue index from the routing distribution.
@@ -276,6 +303,12 @@ func newSimulation(cfg Config) (*simulation, error) {
 		batch:       stats.NewBatchMeans(batchSize),
 		quantiles:   stats.NewQuantileSet(),
 	}
+	if cfg.Faults.Enabled() {
+		// Validate vouched that the policy is fault-aware; the type
+		// assertion re-checks the invariant at the wiring point.
+		s.flt = newFaultState(*cfg.Faults, len(cfg.ClusterSizes), src)
+		s.faultPol = pol.(policies.FaultAware)
+	}
 	tr := cfg.Trace
 	if tr == nil && cfg.TraceProvider != nil {
 		tr = cfg.TraceProvider(cfg.Seed)
@@ -309,6 +342,12 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	s.busy.StartAt(0, 0)
+	if s.flt != nil {
+		s.availCap.StartAt(0, float64(s.m.TotalAvail()))
+		for c := 0; c < s.m.NumClusters(); c++ {
+			s.eng.ScheduleAfter(s.flt.inj.NextFailure(c), evNodeFail, c)
+		}
+	}
 	if s.warmupJobs == 0 {
 		// No warmup: measure from time zero. Without this, measurement
 		// would only begin at the first departure (startMeasuring is
@@ -363,6 +402,22 @@ func Run(cfg Config) (Result, error) {
 			max = math.Max(max, u)
 		}
 		res.UtilizationImbalance = max - min
+	}
+	res.MeanAvailableFraction = 1
+	if s.flt != nil {
+		st := s.flt.inj.Stats
+		res.FailuresInjected = int(st.Failures)
+		res.FailuresSkipped = int(st.Skipped)
+		res.Repairs = int(st.Repairs)
+		res.JobsKilled = int(st.Kills)
+		res.Resubmits = int(st.Resubmits)
+		res.WorkLost = st.WorkLost
+		// Aborted jobs whose backoff has not elapsed are still in the
+		// system: count them with the backlog.
+		res.FinalQueue += s.flt.killedPending
+		if window > 0 {
+			res.MeanAvailableFraction = s.availCap.Average(now) / capacity
+		}
 	}
 	// Saturation heuristic: the backlog grew substantially over the
 	// measurement window relative to the number of jobs served.
@@ -456,6 +511,7 @@ func mergeReplications(results []Result) Result {
 	var merged Result
 	var resp, respLocal, respGlobal, gross, net stats.Welford
 	var median, p95, slow, inSystem, throughput, imbalance stats.Welford
+	var availFrac stats.Welford
 	byClass := make([]stats.Welford, len(SizeClassBounds))
 	var perCluster []stats.Welford
 	var offered, simTime float64
@@ -463,6 +519,13 @@ func mergeReplications(results []Result) Result {
 	saturated := false
 	for i := 0; i < n; i++ {
 		r := results[i]
+		merged.FailuresInjected += r.FailuresInjected
+		merged.FailuresSkipped += r.FailuresSkipped
+		merged.Repairs += r.Repairs
+		merged.JobsKilled += r.JobsKilled
+		merged.Resubmits += r.Resubmits
+		merged.WorkLost += r.WorkLost
+		availFrac.Add(r.MeanAvailableFraction)
 		resp.Add(r.MeanResponse)
 		if !math.IsNaN(r.MeanResponseLocal) {
 			respLocal.Add(r.MeanResponseLocal)
@@ -524,6 +587,7 @@ func mergeReplications(results []Result) Result {
 	}
 	merged.GrossUtilization = gross.Mean()
 	merged.NetUtilization = net.Mean()
+	merged.MeanAvailableFraction = availFrac.Mean()
 	merged.OfferedGross = offered
 	merged.Jobs = jobs
 	merged.FinalQueue = finalQueue

@@ -14,6 +14,7 @@ import (
 	"coalloc/internal/cluster"
 	"coalloc/internal/core"
 	"coalloc/internal/dist"
+	"coalloc/internal/faults"
 	"coalloc/internal/obs"
 	"coalloc/internal/plot"
 	"coalloc/internal/workload"
@@ -55,6 +56,10 @@ type Params struct {
 	// of every simulation run. An Observer is single-threaded, so sweeps
 	// and replications then execute serially, in deterministic order.
 	Observer *obs.Observer
+	// FaultMTTR is the mean time to repair a failed processor, in virtual
+	// seconds, used by the fault-injection degradation experiment. Zero
+	// means the 900 s default.
+	FaultMTTR float64
 	// PerPolicyWorkload disables the shared workload trace: each policy
 	// run then regenerates its jobs from the random streams instead of
 	// replaying the per-(seed, utilization) record. The results are
@@ -200,6 +205,12 @@ func (e *Env) Point(cs CurveSpec, util float64) (core.Result, error) {
 }
 
 func (e *Env) point(cs CurveSpec, util float64) (core.Result, error) {
+	return core.RunReplications(e.pointConfig(cs, util), e.Replications)
+}
+
+// pointConfig builds the run configuration of one sweep point, with the
+// shared workload trace attached when enabled.
+func (e *Env) pointConfig(cs CurveSpec, util float64) core.Config {
 	var capacity int
 	for _, s := range cs.ClusterSizes {
 		capacity += s
@@ -219,6 +230,16 @@ func (e *Env) point(cs CurveSpec, util float64) (core.Result, error) {
 	if !e.PerPolicyWorkload && cfg.RequestType == workload.Unordered {
 		cfg.TraceProvider = e.traces.provider(cfg)
 	}
+	return cfg
+}
+
+// FaultPoint is Point with fault injection (nil fs = fault-free). The
+// workload trace is shared with every other rate at this point, failure
+// draws come from their own streams, so the whole degradation grid runs on
+// a common job sequence and differences are purely the failures.
+func (e *Env) FaultPoint(cs CurveSpec, util float64, fs *faults.Spec) (core.Result, error) {
+	cfg := e.pointConfig(cs, util)
+	cfg.Faults = fs
 	return core.RunReplications(cfg, e.Replications)
 }
 

@@ -25,8 +25,8 @@ func tinyParams() Params {
 
 func TestRegistryNames(t *testing.T) {
 	names := Names()
-	want := []string{"backfill", "discipline", "extsweep", "fig1", "fig2", "fig3", "fig4",
-		"fig5", "fig6", "fig7", "fits", "ratio", "reenable", "reqtypes",
+	want := []string{"backfill", "discipline", "extsweep", "faults", "fig1", "fig2", "fig3",
+		"fig4", "fig5", "fig6", "fig7", "fits", "ratio", "reenable", "reqtypes",
 		"sizeclasses", "table1", "table2", "table3", "workload"}
 	if len(names) != len(want) {
 		t.Fatalf("names = %v", names)
@@ -329,6 +329,31 @@ func TestAblationsRender(t *testing.T) {
 				t.Errorf("%s output missing %q", name, w)
 			}
 		}
+	}
+}
+
+func TestDegradationRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	env := NewEnv(tinyParams())
+	out, err := Run("faults", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{
+		"degradation under processor failures",
+		"MTTR 900 s",
+		"fail/hr", "kills", "avail",
+		"GS", "LS", "LP",
+	} {
+		if !strings.Contains(out, w) {
+			t.Errorf("degradation output missing %q", w)
+		}
+	}
+	// The grid's fault-free anchor point must be present.
+	if !strings.Contains(out, "0.00") {
+		t.Error("degradation output missing the zero-failure-rate row")
 	}
 }
 

@@ -15,11 +15,16 @@ import (
 // Config (policy, fit, component limit, warmup) only affects how the
 // recorded jobs are scheduled, not the record itself — which is exactly
 // why policies sharing a key can share a trace.
+// The distributions are identified by value fingerprints, not pointers:
+// experiments rebuild their Specs per point, so pointer identity would
+// split value-equal configurations into distinct keys and silently disable
+// the sharing (every policy would regenerate its own trace — correct
+// results, but no common random numbers and no cache hits).
 type traceKey struct {
 	seed     uint64
 	rate     float64
-	sizes    *dist.EmpiricalInt
-	service  dist.Continuous
+	sizes    uint64
+	service  string
 	clusters int
 	weights  string
 }
@@ -49,8 +54,8 @@ func (tc *traceCache) provider(cfg core.Config) func(seed uint64) *core.Trace {
 		key := traceKey{
 			seed:     seed,
 			rate:     cfg.ArrivalRate,
-			sizes:    cfg.Spec.Sizes,
-			service:  cfg.Spec.Service,
+			sizes:    cfg.Spec.Sizes.Fingerprint(),
+			service:  dist.FingerprintOf(cfg.Spec.Service),
 			clusters: len(cfg.ClusterSizes),
 			weights:  fmt.Sprint(cfg.QueueWeights),
 		}
@@ -68,7 +73,12 @@ func (tc *traceCache) provider(cfg core.Config) func(seed uint64) *core.Trace {
 		}
 		for len(tc.order) >= traceCacheCap {
 			delete(tc.cache, tc.order[0])
-			tc.order = tc.order[1:]
+			// Copy-down rather than reslice: order[1:] would keep the
+			// same backing array, whose dead head entries pin evicted
+			// keys (and the append below would keep growing it).
+			n := copy(tc.order, tc.order[1:])
+			tc.order[n] = traceKey{}
+			tc.order = tc.order[:n]
 		}
 		tc.cache[key] = tr
 		tc.order = append(tc.order, key)

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"testing"
+
+	"coalloc/internal/core"
+	"coalloc/internal/workload"
+)
+
+// traceTestConfig builds a small sweep-point config from a freshly derived
+// workload, so two calls share no distribution pointers.
+func traceTestConfig() core.Config {
+	der := workload.DeriveDefault()
+	spec := workload.Spec{
+		Sizes:           der.Sizes128,
+		Service:         der.Service,
+		ComponentLimit:  16,
+		Clusters:        4,
+		ExtensionFactor: workload.DefaultExtensionFactor,
+	}
+	return core.Config{
+		ClusterSizes: MulticlusterSizes,
+		Spec:         spec,
+		Policy:       "GS",
+		ArrivalRate:  spec.ArrivalRateForGrossUtilization(0.3, 128),
+		WarmupJobs:   10,
+		MeasureJobs:  50,
+		Seed:         7,
+	}
+}
+
+// TestTraceCacheSharesValueEqualConfigs pins the cache's reason to exist:
+// two configurations that are equal by value — but built independently, so
+// every distribution pointer differs — must resolve to the same *core.Trace.
+// Keying on pointer identity used to split these and silently regenerate
+// the workload per policy.
+func TestTraceCacheSharesValueEqualConfigs(t *testing.T) {
+	var tc traceCache
+	a := tc.provider(traceTestConfig())(7)
+	b := tc.provider(traceTestConfig())(7)
+	if a == nil || b == nil {
+		t.Fatal("provider failed to build a trace")
+	}
+	if a != b {
+		t.Error("value-equal configs resolved to distinct traces (no sharing)")
+	}
+	if got := len(tc.cache); got != 1 {
+		t.Errorf("cache holds %d entries for one logical key", got)
+	}
+	// A different seed is a different record.
+	if c := tc.provider(traceTestConfig())(8); c == a {
+		t.Error("different seeds share a trace")
+	}
+}
+
+// TestTraceCacheEvictionBoundsMemory pins the FIFO eviction: the cache must
+// hold at most traceCacheCap traces, and the order slice's backing array
+// must not grow without bound (the old reslice-eviction pinned its head and
+// let append extend the same array forever).
+func TestTraceCacheEvictionBoundsMemory(t *testing.T) {
+	var tc traceCache
+	cfg := traceTestConfig()
+	p := tc.provider(cfg)
+	const extra = 40
+	for seed := uint64(0); seed < traceCacheCap+extra; seed++ {
+		if p(seed) == nil {
+			t.Fatalf("seed %d: provider failed", seed)
+		}
+	}
+	if len(tc.cache) > traceCacheCap {
+		t.Errorf("cache grew to %d entries, cap is %d", len(tc.cache), traceCacheCap)
+	}
+	if len(tc.order) != len(tc.cache) {
+		t.Errorf("order tracks %d keys for %d cached traces", len(tc.order), len(tc.cache))
+	}
+	if cap(tc.order) > 2*traceCacheCap {
+		t.Errorf("order backing array grew to %d slots for a cap of %d", cap(tc.order), traceCacheCap)
+	}
+	// The oldest keys are gone, the newest survive.
+	if p(0) == nil {
+		t.Fatal("regenerating an evicted seed failed")
+	}
+}

@@ -1,0 +1,54 @@
+package faults
+
+import (
+	"fmt"
+
+	"coalloc/internal/workload"
+)
+
+// SelectVictim picks the running job to abort when a processor of cluster
+// c fails while every up processor of c is busy. The rule is a
+// deterministic total order — among the running jobs holding a component
+// on c, the one that started most recently loses (it forfeits the least
+// completed work), with the higher job ID breaking start-time ties.
+// Iteration order of the registry therefore cannot influence the choice.
+//
+// SelectVictim checks the invariants the capacity bookkeeping relies on:
+// every running job must hold a placement, and a fully busy cluster must
+// be occupied by at least one running job. Either violation is a simulator
+// bug and panics. The returned value indexes running.
+func SelectVictim(running []*workload.Job, c int) int {
+	best := -1
+	for i, j := range running {
+		if len(j.Placement) != len(j.Components) {
+			panic(fmt.Sprintf("faults: running job %d has %d placements for %d components",
+				j.ID, len(j.Placement), len(j.Components)))
+		}
+		occupies := false
+		for _, pc := range j.Placement {
+			if pc == c {
+				occupies = true
+				break
+			}
+		}
+		if !occupies {
+			continue
+		}
+		if best < 0 || later(j, running[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		panic(fmt.Sprintf("faults: no running job occupies fully busy cluster %d", c))
+	}
+	return best
+}
+
+// later reports whether a ranks after b in the victim order: strictly
+// later start, or an equal start with the higher ID.
+func later(a, b *workload.Job) bool {
+	if a.StartTime != b.StartTime {
+		return a.StartTime > b.StartTime
+	}
+	return a.ID > b.ID
+}

@@ -38,6 +38,18 @@ type Observer struct {
 
 	wait *Timer
 	resp *Timer
+
+	// Fault metrics are registered lazily, on the first fault event of a
+	// run: WriteText prints every registered metric, so eager
+	// registration would change the summary block of every fault-free
+	// run — which the zero-rate bit-identity guardrail pins.
+	fFailures  *Counter
+	fSkipped   *Counter
+	fRepairs   *Counter
+	fKills     *Counter
+	fResubmits *Counter
+	fCapacity  *Gauge
+	fLost      *Timer
 }
 
 // New returns an Observer with a fresh metrics registry. trace, when
@@ -202,6 +214,86 @@ func (o *Observer) EngineStats(steps, scheduled uint64, arenaSlots int) {
 	o.arenaSlots.Set(float64(arenaSlots))
 	if scheduled > 0 {
 		o.poolHitRate.Set(1 - float64(arenaSlots)/float64(scheduled))
+	}
+}
+
+// faultMetrics registers the fault metric family on first use.
+func (o *Observer) faultMetrics() {
+	if o.fFailures != nil {
+		return
+	}
+	m := o.Metrics
+	o.fFailures = m.Counter("faults.failures")
+	o.fSkipped = m.Counter("faults.skipped")
+	o.fRepairs = m.Counter("faults.repairs")
+	o.fKills = m.Counter("faults.kills")
+	o.fResubmits = m.Counter("faults.resubmits")
+	o.fCapacity = m.Gauge("faults.avail_capacity")
+	o.fLost = m.Timer("faults.lost_work")
+}
+
+// NodeFailed records a processor failure on a cluster; avail is the
+// system-wide up capacity after the failure.
+func (o *Observer) NodeFailed(at float64, cluster, avail int) {
+	if o == nil {
+		return
+	}
+	o.faultMetrics()
+	o.fFailures.Inc()
+	o.fCapacity.Set(float64(avail))
+	if o.trace != nil {
+		o.trace.Fail(at, cluster, avail)
+	}
+}
+
+// NodeRepaired records a processor returning to service on a cluster;
+// avail is the system-wide up capacity after the repair.
+func (o *Observer) NodeRepaired(at float64, cluster, avail int) {
+	if o == nil {
+		return
+	}
+	o.faultMetrics()
+	o.fRepairs.Inc()
+	o.fCapacity.Set(float64(avail))
+	if o.trace != nil {
+		o.trace.Repair(at, cluster, avail)
+	}
+}
+
+// FaultSkipped records a failure event that found the cluster entirely
+// down already (counter only; nothing changed in the system).
+func (o *Observer) FaultSkipped(cluster int) {
+	if o == nil {
+		return
+	}
+	o.faultMetrics()
+	o.fSkipped.Inc()
+}
+
+// JobKilled records a running job aborted by a failure on a cluster, with
+// the processor-seconds of discarded service.
+func (o *Observer) JobKilled(at float64, job int64, cluster int, lost float64) {
+	if o == nil {
+		return
+	}
+	o.faultMetrics()
+	o.fKills.Inc()
+	o.fLost.Observe(lost)
+	if o.trace != nil {
+		o.trace.Kill(at, job, cluster, lost)
+	}
+}
+
+// JobResubmitted records an aborted job re-entering its queue after its
+// retry backoff; retry is the 1-based abort count.
+func (o *Observer) JobResubmitted(at float64, job int64, retry int) {
+	if o == nil {
+		return
+	}
+	o.faultMetrics()
+	o.fResubmits.Inc()
+	if o.trace != nil {
+		o.trace.Resubmit(at, job, retry)
 	}
 }
 

@@ -134,3 +134,39 @@ func (t *Trace) Enable(at float64, queue int) {
 	t.fieldInt("queue", int64(queue))
 	t.emit()
 }
+
+// Fail records a processor failure: the cluster it hit and the system-wide
+// up capacity after it.
+func (t *Trace) Fail(at float64, cluster, avail int) {
+	t.begin(at, "fail")
+	t.fieldInt("cluster", int64(cluster))
+	t.fieldInt("avail", int64(avail))
+	t.emit()
+}
+
+// Repair records a processor returning to service.
+func (t *Trace) Repair(at float64, cluster, avail int) {
+	t.begin(at, "repair")
+	t.fieldInt("cluster", int64(cluster))
+	t.fieldInt("avail", int64(avail))
+	t.emit()
+}
+
+// Kill records a running job aborted by a failure, with the
+// processor-seconds of service it loses.
+func (t *Trace) Kill(at float64, job int64, cluster int, lost float64) {
+	t.begin(at, "kill")
+	t.fieldInt("job", job)
+	t.fieldInt("cluster", int64(cluster))
+	t.fieldFloat("lost", lost)
+	t.emit()
+}
+
+// Resubmit records an aborted job re-entering its queue; retry is its
+// 1-based abort count.
+func (t *Trace) Resubmit(at float64, job int64, retry int) {
+	t.begin(at, "resubmit")
+	t.fieldInt("job", job)
+	t.fieldInt("retry", int64(retry))
+	t.emit()
+}

@@ -40,6 +40,14 @@ func (p *GS) Submit(ctx Ctx, j *workload.Job) {
 // JobDeparted runs a scheduling pass; freed processors may admit the head.
 func (p *GS) JobDeparted(ctx Ctx, _ *workload.Job) { p.pass(ctx) }
 
+// CapacityRestored runs a scheduling pass: a repaired processor may admit
+// the head, exactly like a departure (policies.FaultAware).
+func (p *GS) CapacityRestored(ctx Ctx) { p.pass(ctx) }
+
+// JobKilled runs a scheduling pass over the processors the aborted victim
+// released (policies.FaultAware).
+func (p *GS) JobKilled(ctx Ctx, _ *workload.Job) { p.pass(ctx) }
+
 // pass starts jobs from the head of the queue while they fit.
 func (p *GS) pass(ctx Ctx) {
 	m := ctx.Cluster()

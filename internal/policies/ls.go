@@ -77,6 +77,15 @@ func (p *LS) JobDeparted(ctx Ctx, _ *workload.Job) {
 	p.pass(ctx)
 }
 
+// CapacityRestored re-enables the queues under the same ordering contract
+// as a departure — a repaired processor frees capacity exactly like one —
+// and runs a pass (policies.FaultAware).
+func (p *LS) CapacityRestored(ctx Ctx) { p.JobDeparted(ctx, nil) }
+
+// JobKilled reacts to an aborted job like a departure: its released
+// processors may admit disabled queue heads (policies.FaultAware).
+func (p *LS) JobKilled(ctx Ctx, _ *workload.Job) { p.JobDeparted(ctx, nil) }
+
 // pass repeatedly visits the enabled queues, starting at most one job per
 // queue per round, until a full round starts nothing.
 func (p *LS) pass(ctx Ctx) {

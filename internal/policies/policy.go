@@ -78,6 +78,30 @@ type ObserverSetter interface {
 	SetObserver(o *obs.Observer)
 }
 
+// FaultAware is implemented by policies that tolerate fault injection
+// (package faults): capacity shrinking under them, running jobs being
+// aborted, and repaired processors returning. The simulator rejects fault
+// configurations for policies without it — the backfilling policies track
+// running-job reservations and cannot have jobs yanked out from under
+// them.
+//
+// Both hooks carry JobDeparted's contract: queues disabled by head misses
+// are re-enabled under the policy's usual ordering rules (disable order
+// for LS, global-first for LP) and a scheduling pass runs. That is the
+// correct reaction in both cases — a repair frees a processor exactly like
+// a departure does, and a kill releases the victim's processors (minus the
+// one that failed).
+type FaultAware interface {
+	// CapacityRestored tells the policy that a repaired processor
+	// returned to the idle pool.
+	CapacityRestored(ctx Ctx)
+	// JobKilled tells the policy that a failure aborted the victim job
+	// and its processors were released. The victim is NOT resubmitted
+	// here; it re-enters the policy through Submit when its retry
+	// backoff elapses.
+	JobKilled(ctx Ctx, victim *workload.Job)
+}
+
 // Policy is a co-allocation scheduling policy. Implementations are not safe
 // for concurrent use; a simulation run is single-threaded.
 type Policy interface {

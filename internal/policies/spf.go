@@ -45,6 +45,13 @@ func (p *SPF) Submit(ctx Ctx, j *workload.Job) {
 // JobDeparted runs a scheduling pass.
 func (p *SPF) JobDeparted(ctx Ctx, _ *workload.Job) { p.pass(ctx) }
 
+// CapacityRestored runs a scheduling pass (policies.FaultAware).
+func (p *SPF) CapacityRestored(ctx Ctx) { p.pass(ctx) }
+
+// JobKilled runs a scheduling pass; the resubmitted victim re-enters the
+// sorted queue through Submit after its backoff (policies.FaultAware).
+func (p *SPF) JobKilled(ctx Ctx, _ *workload.Job) { p.pass(ctx) }
+
 // pass starts the shortest jobs while they fit.
 func (p *SPF) pass(ctx Ctx) {
 	m := ctx.Cluster()

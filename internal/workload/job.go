@@ -40,6 +40,9 @@ type Job struct {
 	StartTime   float64
 	FinishTime  float64
 	Placement   []int // cluster index per component
+	// Retries counts how many times a processor failure aborted this job;
+	// it scales the resubmission backoff (see package faults).
+	Retries int
 }
 
 // GlobalQueue marks a job queued at a policy's global queue.

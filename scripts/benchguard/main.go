@@ -5,8 +5,9 @@
 //	go test -run '^$' -bench . -benchtime 1x -benchmem . |
 //	    go run ./scripts/benchguard -record BENCH_2.json -key smoke
 //
-// Benchmarks matching -match (default: the two macro benchmarks, Fig5 and
-// BackfillPolicies/*) fail the run when their allocs/op exceed the
+// Benchmarks matching -match (default: the macro benchmarks Fig5 and
+// BackfillPolicies/*, plus the zero-failure-rate fault-path run
+// FaultPathDisabled) fail the run when their allocs/op exceed the
 // recorded value by more than -max-regress (default 10%). A recorded
 // matching benchmark missing from the fresh output also fails — a
 // benchmark that silently stops running guards nothing.
@@ -45,7 +46,7 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+)
 func main() {
 	record := flag.String("record", "BENCH_2.json", "benchmark record written by scripts/benchjson")
 	key := flag.String("key", "smoke", "snapshot key holding the reference measurements")
-	match := flag.String("match", `^BenchmarkFig5$|^BenchmarkBackfillPolicies/`, "regexp selecting the guarded benchmarks")
+	match := flag.String("match", `^BenchmarkFig5$|^BenchmarkBackfillPolicies/|^BenchmarkFaultPathDisabled$`, "regexp selecting the guarded benchmarks")
 	maxRegress := flag.Float64("max-regress", 0.10, "allowed fractional allocs/op increase over the record")
 	flag.Parse()
 
