@@ -6,7 +6,7 @@ GO ?= go
 # ride along so end-to-end regeneration time is tracked too.
 BENCHES = BenchmarkEngineEventRate|BenchmarkPolicyThroughput|BenchmarkBackfillPolicies|BenchmarkTable1|BenchmarkFig5|BenchmarkFaultPathDisabled
 
-.PHONY: verify test bench bench-smoke bench-baseline bench-record lint fmt-check
+.PHONY: verify test bench bench-smoke bench-baseline bench-record cpuprofile lint fmt-check
 
 # verify is the tier-1 gate: formatting, vet, build, the detlint
 # determinism rules (cmd/mclint), the full test suite, and the test
@@ -40,21 +40,35 @@ fmt-check:
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem . | $(GO) run ./scripts/benchjson -key after -o BENCH_1.json
 
-# bench-smoke compiles and runs every recorded benchmark exactly once and
-# pipes the output through the allocation guard: the run fails when the
-# macro benchmarks (Fig5, BackfillPolicies/*) regress more than 10% in
-# allocs/op against the "smoke" snapshot of BENCH_2.json — so CI catches
-# both benchmarks that rot and hot paths that quietly start allocating.
+# bench-smoke runs every recorded benchmark three times single-shot and
+# pipes the output through the regression guard, which takes the
+# per-benchmark minimum (the noise filter for shared machines): the run
+# fails when the macro benchmarks (Fig5, BackfillPolicies/* — including
+# GS-CONS and GS-EASY — and FaultPathDisabled) regress more than 10% in
+# allocs/op or 35% in ns/op against the "smoke" snapshot of
+# BENCH_3.json — so CI catches benchmarks that rot, hot paths that
+# quietly start allocating, and algorithmic speedups that get
+# accidentally reverted. The time gate is deliberately loose
+# (single-shot wall clock is noisy); re-record the snapshot when moving
+# to slower hardware.
 bench-smoke:
-	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchtime 1x -benchmem . | $(GO) run ./scripts/benchguard -record BENCH_2.json -key smoke
+	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchtime 1x -count 3 -benchmem . | $(GO) run ./scripts/benchguard -record BENCH_3.json -key smoke -max-time-regress 0.35
 
-# bench-record re-measures the hot paths into BENCH_2.json: the amortized
-# numbers under "after" (the memory-lean pipeline record README cites) and
+# bench-record re-measures the hot paths into BENCH_3.json: the amortized
+# numbers under "after" (the profile-overhaul record README cites) and
 # a single-shot run under "smoke", the reference bench-smoke guards
 # against. Re-run it whenever an intentional change moves the needle.
 bench-record:
-	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem . | $(GO) run ./scripts/benchjson -key after -o BENCH_2.json
-	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchtime 1x -benchmem . | $(GO) run ./scripts/benchjson -key smoke -o BENCH_2.json
+	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem . | $(GO) run ./scripts/benchjson -key after -o BENCH_3.json
+	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchtime 1x -benchmem . | $(GO) run ./scripts/benchjson -key smoke -o BENCH_3.json
+
+# cpuprofile captures a pprof CPU profile of the backfilling macro
+# benchmark for hot-path work:
+#
+#	make cpuprofile
+#	go tool pprof -top bench.test cpu.prof
+cpuprofile:
+	$(GO) test -run '^$$' -bench 'BenchmarkBackfillPolicies' -benchtime 30x -cpuprofile cpu.prof -o bench.test .
 
 # bench-baseline records the same measurements under "baseline"; run it
 # before starting an optimization.

@@ -31,6 +31,7 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print an aggregate metrics summary after the experiments")
 	pergen := flag.Bool("pergen", false, "regenerate the workload inside every policy run instead of sharing a per-point trace (ablation; results are identical)")
 	mttr := flag.Float64("mttr", 0, "mean processor repair time in s for the faults experiment (0 = 900 s default)")
+	lookahead := flag.Int("lookahead", 0, "conservative-backfilling reservation bound (0 = default 32; must be >= 1)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: mcexp [flags] <experiment>...|all|list\n\nexperiments:\n")
@@ -65,6 +66,11 @@ func main() {
 	}
 	params.DataDir = *dataDir
 	params.FaultMTTR = *mttr
+	if *lookahead != 0 && *lookahead < 1 {
+		fmt.Fprintf(os.Stderr, "mcexp: -lookahead %d must be >= 1\n", *lookahead)
+		os.Exit(2)
+	}
+	params.Lookahead = *lookahead
 	if *pprofAddr != "" {
 		if err := obs.StartPprof(*pprofAddr); err != nil {
 			fmt.Fprintf(os.Stderr, "mcexp: %v\n", err)

@@ -36,6 +36,7 @@ func main() {
 	unbalanced := flag.Bool("unbalanced", false, "route 40%/20%/20%/20% of jobs to the local queues")
 	ext := flag.Float64("ext", workload.DefaultExtensionFactor, "wide-area extension factor for multi-component jobs")
 	fit := flag.String("fit", "WF", "placement rule: WF, FF or BF")
+	lookahead := flag.Int("lookahead", 0, "conservative-backfilling reservation bound (0 = default 32; must be >= 1)")
 	clusters := flag.String("clusters", "", "comma-separated cluster sizes (default 32,32,32,32; SC uses 128)")
 	backlog := flag.Bool("backlog", false, "run a constant-backlog (maximal utilization) simulation instead")
 	mtbf := flag.Float64("mtbf", 0, "per-cluster mean time between processor failures in s (0 = no failures)")
@@ -102,6 +103,10 @@ func main() {
 		weights = core.Unbalanced(len(clusterSizes))
 	}
 
+	if *lookahead != 0 && *lookahead < 1 {
+		fatalf("-lookahead %d must be >= 1", *lookahead)
+	}
+
 	if *backlog {
 		if *mtbf > 0 {
 			fatalf("-mtbf cannot be combined with -backlog (constant-backlog runs measure reliable-hardware capacity)")
@@ -113,6 +118,7 @@ func main() {
 			Fit:          fitRule,
 			QueueWeights: weights,
 			Seed:         *seed,
+			Lookahead:    *lookahead,
 		})
 		if err != nil {
 			fatalf("%v", err)
@@ -140,6 +146,7 @@ func main() {
 		NoWarmup:     *warmup == 0,
 		MeasureJobs:  *jobs,
 		Seed:         *seed,
+		Lookahead:    *lookahead,
 	}
 	if *mtbf > 0 {
 		cfg.Faults = &faults.Spec{

@@ -23,6 +23,9 @@ type BacklogConfig struct {
 	Policy       string
 	Fit          cluster.Fit
 	QueueWeights []float64
+	// Lookahead is the conservative-backfilling reservation bound (as in
+	// Config.Lookahead; 0 = default).
+	Lookahead int
 	// Backlog is the number of jobs kept waiting at all times. Default 64.
 	Backlog int
 	// WarmupTime and MeasureTime bound the run in virtual seconds.
@@ -78,7 +81,7 @@ func RunBacklog(cfg BacklogConfig) (BacklogResult, error) {
 	if cfg.Backlog <= 0 {
 		return BacklogResult{}, fmt.Errorf("core: backlog %d must be positive", cfg.Backlog)
 	}
-	pol, err := buildPolicy(cfg.Policy, len(cfg.ClusterSizes), cfg.Fit)
+	pol, err := buildPolicy(cfg.Policy, len(cfg.ClusterSizes), cfg.Fit, cfg.Lookahead)
 	if err != nil {
 		return BacklogResult{}, err
 	}

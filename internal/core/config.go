@@ -33,6 +33,12 @@ type Config struct {
 	RequestType workload.RequestType
 	// Fit is the placement rule (the paper uses Worst Fit, the zero value).
 	Fit cluster.Fit
+	// Lookahead bounds the number of queued jobs that receive
+	// reservations per conservative-backfilling pass. 0 means the default
+	// (policies.DefaultLookahead, 32); explicit values must be >= 1. A
+	// pass that truncates the queue at the cap reports it under the
+	// sched.lookahead_truncated counter, so the bound is never silent.
+	Lookahead int
 	// ArrivalRate is the Poisson arrival rate in jobs per second. Set it
 	// directly or via Spec.ArrivalRateForGrossUtilization.
 	ArrivalRate float64
@@ -116,7 +122,10 @@ func (c *Config) Validate() error {
 	if c.WarmupJobs < 0 || c.MeasureJobs <= 0 {
 		return fmt.Errorf("core: warmup %d / measure %d jobs", c.WarmupJobs, c.MeasureJobs)
 	}
-	pol, err := buildPolicy(c.Policy, len(c.ClusterSizes), c.Fit)
+	if c.Lookahead < 0 {
+		return fmt.Errorf("core: lookahead %d must be >= 1 (or 0 for the default)", c.Lookahead)
+	}
+	pol, err := buildPolicy(c.Policy, len(c.ClusterSizes), c.Fit, c.Lookahead)
 	if err != nil {
 		return err
 	}
@@ -138,8 +147,15 @@ func (c *Config) Validate() error {
 	return nil
 }
 
-// buildPolicy constructs a policy by its paper abbreviation.
-func buildPolicy(name string, clusters int, fit cluster.Fit) (policies.Policy, error) {
+// buildPolicy constructs a policy by its paper abbreviation. lookahead is
+// the conservative-backfilling reservation bound; 0 selects the default.
+func buildPolicy(name string, clusters int, fit cluster.Fit, lookahead int) (policies.Policy, error) {
+	if lookahead == 0 {
+		lookahead = policies.DefaultLookahead
+	}
+	if lookahead < 1 {
+		return nil, fmt.Errorf("core: lookahead %d must be >= 1", lookahead)
+	}
 	switch name {
 	case "GS":
 		return policies.NewGS(fit), nil
@@ -151,14 +167,14 @@ func buildPolicy(name string, clusters int, fit cluster.Fit) (policies.Policy, e
 	case "GS-EASY":
 		return policies.NewEASY(fit), nil
 	case "GS-CONS":
-		return policies.NewConservative(fit), nil
+		return policies.NewConservative(fit, lookahead), nil
 	case "GS-SPF":
 		return policies.NewSPF(fit), nil
 	case "SC-CONS":
 		if clusters != 1 {
 			return nil, fmt.Errorf("core: SC-CONS needs a single cluster, got %d", clusters)
 		}
-		return policies.NewSCConservative(), nil
+		return policies.NewSCConservative(lookahead), nil
 	case "SC-EASY":
 		if clusters != 1 {
 			return nil, fmt.Errorf("core: SC-EASY needs a single cluster, got %d", clusters)

@@ -585,19 +585,19 @@ func TestBuildPolicyNames(t *testing.T) {
 	// Every registered name builds on a suitable system; unknown names fail.
 	multi := []string{"GS", "GS-EASY", "GS-CONS", "GS-SPF", "LS", "LS-sorted", "LP"}
 	for _, name := range multi {
-		if _, err := buildPolicy(name, 4, 0); err != nil {
+		if _, err := buildPolicy(name, 4, 0, 0); err != nil {
 			t.Errorf("buildPolicy(%s, 4): %v", name, err)
 		}
 	}
 	for _, name := range []string{"SC", "SC-EASY", "SC-CONS"} {
-		if _, err := buildPolicy(name, 1, 0); err != nil {
+		if _, err := buildPolicy(name, 1, 0, 0); err != nil {
 			t.Errorf("buildPolicy(%s, 1): %v", name, err)
 		}
-		if _, err := buildPolicy(name, 4, 0); err == nil {
+		if _, err := buildPolicy(name, 4, 0, 0); err == nil {
 			t.Errorf("buildPolicy(%s, 4) accepted a multicluster", name)
 		}
 	}
-	if _, err := buildPolicy("NOPE", 4, 0); err == nil {
+	if _, err := buildPolicy("NOPE", 4, 0, 0); err == nil {
 		t.Error("unknown policy accepted")
 	}
 }

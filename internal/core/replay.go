@@ -34,6 +34,9 @@ type ReplayConfig struct {
 	Policy string
 	// Fit is the placement rule.
 	Fit cluster.Fit
+	// Lookahead is the conservative-backfilling reservation bound (as in
+	// Config.Lookahead; 0 = default).
+	Lookahead int
 	// ComponentLimit splits each recorded size into components, exactly
 	// as the synthetic workload does. Use the largest recorded size (or
 	// the single-cluster capacity) to replay total requests.
@@ -102,7 +105,7 @@ func Replay(cfg ReplayConfig) (ReplayResult, error) {
 	if load <= 0 {
 		return ReplayResult{}, fmt.Errorf("core: replay load factor %g", cfg.LoadFactor)
 	}
-	pol, err := buildPolicy(cfg.Policy, len(cfg.ClusterSizes), cfg.Fit)
+	pol, err := buildPolicy(cfg.Policy, len(cfg.ClusterSizes), cfg.Fit, cfg.Lookahead)
 	if err != nil {
 		return ReplayResult{}, err
 	}

@@ -271,7 +271,7 @@ func newSimulation(cfg Config) (*simulation, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	pol, err := buildPolicy(cfg.Policy, len(cfg.ClusterSizes), cfg.Fit)
+	pol, err := buildPolicy(cfg.Policy, len(cfg.ClusterSizes), cfg.Fit, cfg.Lookahead)
 	if err != nil {
 		return nil, err
 	}

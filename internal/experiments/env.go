@@ -60,6 +60,11 @@ type Params struct {
 	// seconds, used by the fault-injection degradation experiment. Zero
 	// means the 900 s default.
 	FaultMTTR float64
+	// Lookahead bounds the number of queued jobs that receive
+	// reservations per conservative-backfilling pass (as in
+	// core.Config.Lookahead; 0 = the default 32, explicit values must be
+	// >= 1).
+	Lookahead int
 	// PerPolicyWorkload disables the shared workload trace: each policy
 	// run then regenerates its jobs from the random streams instead of
 	// replaying the per-(seed, utilization) record. The results are
@@ -226,6 +231,7 @@ func (e *Env) pointConfig(cs CurveSpec, util float64) core.Config {
 		MeasureJobs:  e.MeasureJobs,
 		Seed:         e.Seed,
 		Observer:     e.Observer,
+		Lookahead:    e.Lookahead,
 	}
 	if !e.PerPolicyWorkload && cfg.RequestType == workload.Unordered {
 		cfg.TraceProvider = e.traces.provider(cfg)

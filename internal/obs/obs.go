@@ -39,6 +39,14 @@ type Observer struct {
 	wait *Timer
 	resp *Timer
 
+	// passesSkipped and lookaheadTrunc are registered lazily, on first
+	// use, for the same reason as the fault metrics below: WriteText
+	// prints every registered metric, and runs where no pass is ever
+	// elided or truncated must keep their summary block unchanged.
+	passesSkipped  *Counter
+	passesRepaired *Counter
+	lookaheadTrunc *Counter
+
 	// Fault metrics are registered lazily, on the first fault event of a
 	// run: WriteText prints every registered metric, so eager
 	// registration would change the summary block of every fault-free
@@ -159,6 +167,56 @@ func (o *Observer) BackfillAttempt() {
 		return
 	}
 	o.bfAttempts.Inc()
+}
+
+// BackfillAttempts records n backfill candidate evaluations at once — the
+// compensation path of an elided scheduling pass, which must leave the
+// counters exactly as the full pass would have.
+func (o *Observer) BackfillAttempts(n int) {
+	if o == nil || n <= 0 {
+		return
+	}
+	o.bfAttempts.Add(uint64(n))
+}
+
+// PassSkipped records a scheduling pass elided as a provable no-op. The
+// pass still counts under sched.passes — the compensation keeps every
+// pre-existing counter identical to a non-eliding run — and the skip is
+// additionally recorded under sched.passes_skipped.
+func (o *Observer) PassSkipped() {
+	if o == nil {
+		return
+	}
+	if o.passesSkipped == nil {
+		o.passesSkipped = o.Metrics.Counter("sched.passes_skipped")
+	}
+	o.passesSkipped.Inc()
+}
+
+// PassRepaired records a scheduling pass served from retained reservations
+// after re-verifying only the stale prefix — the middle ground between a
+// fully elided pass and a full re-derivation.
+func (o *Observer) PassRepaired() {
+	if o == nil {
+		return
+	}
+	if o.passesRepaired == nil {
+		o.passesRepaired = o.Metrics.Counter("sched.passes_repaired")
+	}
+	o.passesRepaired.Inc()
+}
+
+// LookaheadTruncated records a conservative-backfilling pass that stopped
+// at the reservation lookahead cap with jobs still waiting beyond it —
+// the "no silent caps" signal that the bounded window actually bound.
+func (o *Observer) LookaheadTruncated() {
+	if o == nil {
+		return
+	}
+	if o.lookaheadTrunc == nil {
+		o.lookaheadTrunc = o.Metrics.Counter("sched.lookahead_truncated")
+	}
+	o.lookaheadTrunc.Inc()
 }
 
 // BackfillSuccess records a backfill candidate actually started.

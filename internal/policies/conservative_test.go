@@ -20,17 +20,17 @@ func TestProfileFromRunning(t *testing.T) {
 	}
 	p := newProfile(m, 0, running)
 	// Segments: [0,10): (16,24); [10,20): (32,24); [20,inf): (32,32).
-	if len(p.times) != 3 {
-		t.Fatalf("times %v", p.times)
+	if p.n != 3 {
+		t.Fatalf("segments %d, want 3", p.n)
 	}
-	if p.idle[0][0] != 16 || p.idle[0][1] != 24 {
-		t.Errorf("segment 0 idle %v", p.idle[0])
+	if s := p.seg(0); s[0] != 16 || s[1] != 24 {
+		t.Errorf("segment 0 idle %v", s)
 	}
-	if p.idle[1][0] != 32 || p.idle[1][1] != 24 {
-		t.Errorf("segment 1 idle %v", p.idle[1])
+	if s := p.seg(1); s[0] != 32 || s[1] != 24 {
+		t.Errorf("segment 1 idle %v", s)
 	}
-	if p.idle[2][0] != 32 || p.idle[2][1] != 32 {
-		t.Errorf("segment 2 idle %v", p.idle[2])
+	if s := p.seg(2); s[0] != 32 || s[1] != 32 {
+		t.Errorf("segment 2 idle %v", s)
 	}
 }
 
@@ -118,8 +118,8 @@ func TestProfileRandomConsistency(t *testing.T) {
 			// otherwise.
 			p.reserve(comps, placement, tm, dur)
 		}
-		for _, idle := range p.idle {
-			for _, v := range idle {
+		for s := 0; s < p.n; s++ {
+			for _, v := range p.seg(s) {
 				if v < 0 {
 					return false
 				}
@@ -136,7 +136,7 @@ func TestProfileRandomConsistency(t *testing.T) {
 
 func TestConservativeBackfillsWithoutDelayingAnyReservation(t *testing.T) {
 	ctx := newMockCtx(32)
-	p := NewSCConservative()
+	p := NewSCConservative(DefaultLookahead)
 	p.Submit(ctx, svcJob(1, 100, 20)) // runs; 12 idle
 	p.Submit(ctx, svcJob(2, 50, 32))  // reserved at t=100
 	p.Submit(ctx, svcJob(3, 10, 30))  // reserved at t=150 (after job 2)
@@ -168,7 +168,7 @@ func TestConservativeStricterThanEASY(t *testing.T) {
 	easyCtx := newMockCtx(32)
 	easy := NewSCEASY()
 	consCtx := newMockCtx(32)
-	cons := NewSCConservative()
+	cons := NewSCConservative(DefaultLookahead)
 	jobs := [][2]float64{ // {service, size}
 		{100, 24},
 		{10, 16},
@@ -185,7 +185,7 @@ func TestConservativeStricterThanEASY(t *testing.T) {
 
 func TestConservativeFCFSWhenNothingBackfills(t *testing.T) {
 	ctx := newMockCtx(32)
-	p := NewSCConservative()
+	p := NewSCConservative(DefaultLookahead)
 	j1 := svcJob(1, 10, 32)
 	p.Submit(ctx, j1)
 	p.Submit(ctx, svcJob(2, 10, 32))
@@ -197,7 +197,7 @@ func TestConservativeFCFSWhenNothingBackfills(t *testing.T) {
 
 func TestConservativeImpossibleJobDoesNotBlockOthers(t *testing.T) {
 	ctx := newMockCtx(32)
-	p := NewSCConservative()
+	p := NewSCConservative(DefaultLookahead)
 	// An impossible job (33 procs) holds no reservation; unlike FCFS
 	// and EASY, conservative backfilling schedules around it.
 	p.Submit(ctx, svcJob(1, 10, 33))
@@ -210,7 +210,7 @@ func TestConservativeImpossibleJobDoesNotBlockOthers(t *testing.T) {
 
 func TestConservativeMulticluster(t *testing.T) {
 	ctx := newMockCtx()
-	p := NewConservative(cluster.WorstFit)
+	p := NewConservative(cluster.WorstFit, DefaultLookahead)
 	p.Submit(ctx, svcJob(1, 100, 32, 32, 32))    // 1 cluster free
 	p.Submit(ctx, svcJob(2, 10, 32, 32, 32, 32)) // whole system, t=125
 	p.Submit(ctx, svcJob(3, 10, 16))             // backfills now
@@ -222,7 +222,7 @@ func TestConservativeMulticluster(t *testing.T) {
 
 func TestConservativeQueuedAt(t *testing.T) {
 	ctx := newMockCtx(32)
-	p := NewSCConservative()
+	p := NewSCConservative(DefaultLookahead)
 	p.Submit(ctx, svcJob(1, 10, 32))
 	p.Submit(ctx, svcJob(2, 10, 32))
 	if p.QueuedAt(-1) != 1 || p.QueuedAt(0) != 0 {

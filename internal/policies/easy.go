@@ -31,9 +31,18 @@ type EASY struct {
 	// Scratch buffers for earliestFit/fitsVector, sized to the cluster
 	// count on first use; they keep the reservation arithmetic
 	// allocation-free.
-	scrIdle  []int
-	scrUsed  []bool
-	scrPlace []int
+	scrIdle   []int
+	scrUsed   []bool
+	scrPlace  []int
+	scrShadow []int // idle vector at the head's shadow time
+	scrTmp    []int
+
+	// stuck is the pass-elision watermark: the head can never fit (its
+	// reservation is +Inf even with every running job released). Such a
+	// head blocks the queue forever — no release changes total capacity,
+	// and EASY backfills nothing behind an unreservable head — so every
+	// later pass is a provable no-op.
+	stuck bool
 }
 
 // runInfo tracks one running job for reservation arithmetic.
@@ -57,6 +66,10 @@ func (p *EASY) Name() string { return p.name }
 func (p *EASY) Submit(ctx Ctx, j *workload.Job) {
 	j.Queue = workload.GlobalQueue
 	p.q.Push(j)
+	if elidePasses && p.stuck {
+		p.elidedPass(ctx)
+		return
+	}
 	p.pass(ctx)
 }
 
@@ -69,7 +82,21 @@ func (p *EASY) JobDeparted(ctx Ctx, j *workload.Job) {
 			break
 		}
 	}
+	if elidePasses && p.stuck {
+		p.elidedPass(ctx)
+		return
+	}
 	p.pass(ctx)
+}
+
+// elidedPass emits the counters a full pass over a forever-stuck head
+// would: the pass, the head miss, and then the +Inf reservation returns
+// before any backfill attempt.
+func (p *EASY) elidedPass(ctx Ctx) {
+	o := ctx.Obs()
+	o.Pass()
+	o.HeadMiss(workload.GlobalQueue)
+	o.PassSkipped()
 }
 
 // start dispatches a job and inserts it into the running set in
@@ -112,14 +139,39 @@ func (p *EASY) pass(ctx Ctx) {
 	}
 	// Phase 2: the head is blocked; compute its reservation.
 	head := p.q.Head()
-	shadow := p.earliestFit(m, head.Components, ctx.Now(), nil)
+	shadow := p.earliestFit(m, head.Components, ctx.Now())
 	if math.IsInf(shadow, 1) {
 		// The head can never fit (a component exceeds every cluster);
 		// it blocks the queue forever, exactly as plain FCFS would.
+		p.stuck = true
 		return
 	}
 	// Phase 3: scan the rest of the queue for backfill candidates.
 	// Pop/re-push is avoided: collect indices to start, then rebuild.
+	//
+	// Whether a candidate delays the head reduces to one vector test
+	// against the idle state at the shadow time. With the candidate
+	// hypothetically running, the head still fails everywhere it failed
+	// before (idle only shrank), so its reservation moves iff it no
+	// longer fits exactly at the shadow — that is, iff it does not fit in
+	// the shadow idle vector minus the candidate's components. The
+	// precomputed vector replaces the per-candidate O(running) release
+	// walk (and the alloc/release round trip) the hypothetical
+	// re-reservation used to take.
+	nc := m.NumClusters()
+	shadowIdle := p.scrShadow[:nc]
+	for c := range shadowIdle {
+		shadowIdle[c] = m.Idle(c)
+	}
+	for i := range p.running {
+		r := &p.running[i]
+		if r.finish > shadow {
+			break // sorted by finish: nothing further releases by the shadow
+		}
+		for ci, c := range r.placement {
+			shadowIdle[c] += r.comps[ci]
+		}
+	}
 	s.Started = s.Started[:0]
 	p.q.ForEachWaiting(func(idx int, j *workload.Job) bool {
 		if idx == 0 {
@@ -130,22 +182,33 @@ func (p *EASY) pass(ctx Ctx) {
 			return true
 		}
 		placement := s.Place[:len(j.Components)]
-		// Would starting j delay the head's reservation? Evaluate the
-		// head's earliest fit with j hypothetically running.
-		hypo := runInfo{
-			finish:    ctx.Now() + j.ExtendedServiceTime,
-			comps:     j.Components,
-			placement: placement,
-		}
-		m.Alloc(j.Components, placement)
-		delayed := p.earliestFit(m, head.Components, ctx.Now(), &hypo) > shadow
-		if delayed {
-			m.Release(j.Components, placement)
+		// A candidate finishing by the shadow time cannot delay the head:
+		// its processors are back before (or exactly when) the head's
+		// reserved start, so the idle vector the head sees at the shadow
+		// is unchanged and the head still fits there.
+		if ctx.Now()+j.ExtendedServiceTime <= shadow {
+			p.start(ctx, j, placement)
+			o.BackfillSuccess()
+			s.Started = append(s.Started, j)
 			return true
 		}
-		// Start j for real: the processors are already allocated, so
-		// dispatch must not allocate again — start via dispatchHeld.
-		p.dispatchHeld(ctx, j, placement)
+		// The candidate outlives the shadow: it delays the head unless
+		// the head fits at the shadow with the candidate's processors
+		// still held.
+		tmp := p.scrTmp[:nc]
+		copy(tmp, shadowIdle)
+		for ci, c := range placement {
+			tmp[c] -= j.Components[ci]
+		}
+		if !p.fitsVector(tmp, head.Components) {
+			return true
+		}
+		p.start(ctx, j, placement)
+		// The candidate holds its processors past the shadow, so later
+		// candidates see them missing from the shadow idle state too.
+		for ci, c := range placement {
+			shadowIdle[c] -= j.Components[ci]
+		}
 		o.BackfillSuccess()
 		s.Started = append(s.Started, j)
 		return true
@@ -155,29 +218,20 @@ func (p *EASY) pass(ctx Ctx) {
 	}
 }
 
-// dispatchHeld records and dispatches a job whose processors were already
-// allocated during candidate evaluation. It releases them first so the
-// ordinary Dispatch path (which allocates) stays the single source of
-// truth for the cluster bookkeeping.
-func (p *EASY) dispatchHeld(ctx Ctx, j *workload.Job, placement []int) {
-	ctx.Cluster().Release(j.Components, placement)
-	p.start(ctx, j, placement)
-}
-
 // earliestFit returns the earliest time the components fit, given the
-// current idle state plus the future releases of the running jobs (and an
-// optional extra hypothetical job). It returns +Inf when the components
-// cannot fit even on an empty system.
+// current idle state plus the future releases of the running jobs. It
+// returns +Inf when the components cannot fit even on an empty system.
 //
 // The running set is already sorted by finish time, so the releases are
-// walked in order directly, merging the hypothetical job in at its finish
-// position — no per-call sort, no per-call allocation.
-func (p *EASY) earliestFit(m *cluster.Multicluster, comps []int, now float64, extra *runInfo) float64 {
+// walked in order directly — no per-call sort, no per-call allocation.
+func (p *EASY) earliestFit(m *cluster.Multicluster, comps []int, now float64) float64 {
 	n := m.NumClusters()
 	if cap(p.scrIdle) < n {
 		p.scrIdle = make([]int, n)
 		p.scrUsed = make([]bool, n)
 		p.scrPlace = make([]int, n)
+		p.scrShadow = make([]int, n)
+		p.scrTmp = make([]int, n)
 	}
 	idle := p.scrIdle[:n]
 	for c := range idle {
@@ -186,19 +240,8 @@ func (p *EASY) earliestFit(m *cluster.Multicluster, comps []int, now float64, ex
 	if p.fitsVector(idle, comps) {
 		return now
 	}
-	extraDone := extra == nil
-	i := 0
-	for {
-		var r *runInfo
-		if i < len(p.running) && (extraDone || p.running[i].finish <= extra.finish) {
-			r = &p.running[i]
-			i++
-		} else if !extraDone {
-			r = extra
-			extraDone = true
-		} else {
-			break
-		}
+	for i := range p.running {
+		r := &p.running[i]
 		for ci, c := range r.placement {
 			idle[c] += r.comps[ci]
 		}

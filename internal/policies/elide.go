@@ -1,0 +1,26 @@
+package policies
+
+// elidePasses gates the no-op scheduling pass elision: a Submit whose
+// pass provably cannot start or re-reserve anything (head still blocked,
+// no capacity released since the last pass, the new arrival out of reach)
+// is skipped, with the observable counters the full pass would have
+// emitted compensated exactly and the skip recorded under
+// sched.passes_skipped. Every provable case rests on the same two facts:
+// every capacity-changing event (departure, fault kill or repair) runs
+// its own full pass, so between a pass and a following Submit only the
+// new arrival changed; and the placement rules are monotone in the idle
+// vector, so a head that failed on unchanged capacity fails again.
+//
+// The knob exists for the guardrail tests, which run the same seeds with
+// elision on and off and require bit-identical results, traces and
+// metrics (modulo the skip counter itself). It is read-only during a run;
+// tests flip it serially.
+var elidePasses = true
+
+// SetPassElision toggles the no-op pass elision and returns the previous
+// setting. It is not safe to call concurrently with running simulations.
+func SetPassElision(enabled bool) bool {
+	prev := elidePasses
+	elidePasses = enabled
+	return prev
+}

@@ -1,7 +1,9 @@
 package policies
 
 import (
+	"fmt"
 	"math"
+	"sort"
 	"testing"
 
 	"coalloc/internal/cluster"
@@ -9,21 +11,37 @@ import (
 	"coalloc/internal/workload"
 )
 
+// splitBreakpoint returns a base-profile breakpoint strictly inside
+// (now, limit), or now when there is none — the target for arrivals that
+// land exactly on a reservation split.
+func splitBreakpoint(p *profile, now, limit float64) float64 {
+	if p == nil {
+		return now
+	}
+	for i := 1; i < p.n; i++ {
+		if t := p.time(i); t > now && t < limit {
+			return t
+		}
+	}
+	return now
+}
+
 // profilesEqual reports whether two profiles describe identical forecasts:
-// same breakpoints, same idle vector on every segment.
+// same breakpoints, same idle vector on every segment. It compares through
+// the accessors, so profiles with different physical offsets into their
+// flat backing arrays still compare equal when they describe the same
+// forecast.
 func profilesEqual(a, b *profile) bool {
-	if len(a.times) != len(b.times) {
+	if a.n != b.n || a.nc != b.nc {
 		return false
 	}
-	for i := range a.times {
-		if a.times[i] != b.times[i] {
+	for i := 0; i < a.n; i++ {
+		if a.time(i) != b.time(i) {
 			return false
 		}
-		if len(a.idle[i]) != len(b.idle[i]) {
-			return false
-		}
-		for c := range a.idle[i] {
-			if a.idle[i][c] != b.idle[i][c] {
+		sa, sb := a.seg(i), b.seg(i)
+		for c := range sa {
+			if sa[c] != sb[c] {
 				return false
 			}
 		}
@@ -31,13 +49,32 @@ func profilesEqual(a, b *profile) bool {
 	return true
 }
 
+// profileString renders a profile for failure messages.
+func profileString(p *profile) string {
+	var times []float64
+	var idle [][]int
+	for i := 0; i < p.n; i++ {
+		times = append(times, p.time(i))
+		idle = append(idle, p.seg(i))
+	}
+	return fmt.Sprintf("times %v idle %v", times, idle)
+}
+
 // TestIncrementalProfileMatchesRebuilt drives a Conservative policy
 // through random engine-like job streams (arrivals and exact-time
 // departures, including arrivals that tie with a departure and are
 // processed first, as the FIFO event order allows) and checks after every
 // event that the incrementally maintained pass profile is identical to
-// one rebuilt from scratch out of the running set.
+// one rebuilt from scratch out of the running set. The stream also
+// exercises two corners of the incremental bookkeeping: arrivals landing
+// exactly on a breakpoint that a reservation's segmentAt split created
+// (trim-after-split), and jobs departing strictly before their forecast
+// finish (the releaseEarly path a preemptive Ctx or a fault kill takes).
 func TestIncrementalProfileMatchesRebuilt(t *testing.T) {
+	// check() calls passProfile directly, which rebuilds into the policy's
+	// retained scratch profile; run with full passes only so the policy
+	// never trusts scratch contents this test has clobbered.
+	defer SetPassElision(SetPassElision(false))
 	for seed := uint64(1); seed <= 30; seed++ {
 		r := rng.NewStream(seed)
 		nc := 1 + r.Intn(4)
@@ -49,9 +86,9 @@ func TestIncrementalProfileMatchesRebuilt(t *testing.T) {
 		ctx := newMockCtx(sizes...)
 		var p *Conservative
 		if nc == 1 {
-			p = NewSCConservative()
+			p = NewSCConservative(DefaultLookahead)
 		} else {
-			p = NewConservative([]cluster.Fit{cluster.WorstFit, cluster.BestFit, cluster.FirstFit}[r.Intn(3)])
+			p = NewConservative([]cluster.Fit{cluster.WorstFit, cluster.BestFit, cluster.FirstFit}[r.Intn(3)], DefaultLookahead)
 		}
 
 		finish := map[*workload.Job]float64{}
@@ -77,8 +114,8 @@ func TestIncrementalProfileMatchesRebuilt(t *testing.T) {
 			got := p.passProfile(ctx.m, ctx.now)
 			want := newProfile(ctx.m, ctx.now, p.running)
 			if !profilesEqual(got, want) {
-				t.Fatalf("seed %d after %s at t=%g:\nincremental times %v idle %v\nrebuilt     times %v idle %v",
-					seed, what, ctx.now, got.times, got.idle, want.times, want.idle)
+				t.Fatalf("seed %d after %s at t=%g:\nincremental %s\nrebuilt     %s",
+					seed, what, ctx.now, profileString(got), profileString(want))
 			}
 		}
 		record := func() {
@@ -97,11 +134,33 @@ func TestIncrementalProfileMatchesRebuilt(t *testing.T) {
 					dj, dt = j, f
 				}
 			}
+			if dj != nil && r.Float64() < 0.12 {
+				// Early departure: a random running job leaves strictly
+				// before its forecast finish, so JobDeparted must give the
+				// remaining reservation back (releaseEarly).
+				run := make([]*workload.Job, 0, len(finish))
+				for j := range finish {
+					run = append(run, j)
+				}
+				sort.Slice(run, func(a, b int) bool { return run[a].ID < run[b].ID })
+				ej := run[r.Intn(len(run))]
+				if f := finish[ej]; f > ctx.now {
+					ctx.now += r.Float64() * (math.Min(dt, f) - ctx.now)
+				}
+				delete(finish, ej)
+				ctx.finish(p, ej)
+				record()
+				check("early departure")
+				continue
+			}
 			if dj == nil || (p.Queued() < 24 && r.Float64() < 0.55) {
 				// Arrival: sometimes exactly at the next finish time,
 				// before that departure fires — the event tie the FIFO
-				// engine order permits.
-				if dj != nil && r.Float64() < 0.25 {
+				// engine order permits; sometimes exactly on a base-profile
+				// breakpoint, which a reservation split may have created.
+				if bp := splitBreakpoint(p.base, ctx.now, dt); bp > ctx.now && r.Float64() < 0.25 {
+					ctx.now = bp
+				} else if dj != nil && r.Float64() < 0.25 {
 					ctx.now = dt
 				} else if dj != nil {
 					ctx.now += r.Float64() * (dt - ctx.now)
@@ -127,35 +186,62 @@ func TestIncrementalProfileMatchesRebuilt(t *testing.T) {
 // exactly on now, and cloneInto produces an independent copy.
 func TestProfileTrimAndClone(t *testing.T) {
 	m := cluster.New([]int{32})
-	p := newProfile(m, 0, []runInfo{
-		{finish: 10, comps: []int{8}, placement: []int{0}},
-		{finish: 20, comps: []int{4}, placement: []int{0}},
-	})
 	m.Alloc([]int{12}, []int{0})
-	p = newProfile(m, 0, []runInfo{
+	p := newProfile(m, 0, []runInfo{
 		{finish: 10, comps: []int{8}, placement: []int{0}},
 		{finish: 20, comps: []int{4}, placement: []int{0}},
 	})
 	// Segments: [0,10): 20, [10,20): 28, [20,inf): 32.
 	p.trim(5)
-	if p.times[0] != 5 || p.idle[0][0] != 20 || len(p.times) != 3 {
-		t.Fatalf("trim(5): times %v idle %v", p.times, p.idle)
+	if p.n != 3 || p.time(0) != 5 || p.seg(0)[0] != 20 {
+		t.Fatalf("trim(5): %s", profileString(p))
 	}
 	p.trim(10)
-	if len(p.times) != 2 || p.times[0] != 10 || p.idle[0][0] != 28 {
-		t.Fatalf("trim(10): times %v idle %v", p.times, p.idle)
+	if p.n != 2 || p.time(0) != 10 || p.seg(0)[0] != 28 {
+		t.Fatalf("trim(10): %s", profileString(p))
 	}
-	if len(p.spare) == 0 {
-		t.Error("trim did not recycle the dropped idle vector")
+	if p.off != 1 {
+		t.Errorf("trim(10) offset %d, want 1 (logical drop, no copy)", p.off)
 	}
 	var scratch profile
 	cp := p.cloneInto(&scratch)
 	if !profilesEqual(cp, p) {
-		t.Fatalf("clone differs: %v %v vs %v %v", cp.times, cp.idle, p.times, p.idle)
+		t.Fatalf("clone differs: %s vs %s", profileString(cp), profileString(p))
 	}
-	cp.idle[0][0] = -999
+	if cp.off != 0 {
+		t.Errorf("clone offset %d, want 0 (clones start compacted)", cp.off)
+	}
+	cp.seg(0)[0] = -999
 	cp.times[0] = -999
-	if p.idle[0][0] != 28 || p.times[0] != 10 {
+	if p.seg(0)[0] != 28 || p.time(0) != 10 {
 		t.Error("clone shares storage with the original")
+	}
+}
+
+// TestProfileTrimCompacts drives the offset past the live length so the
+// batched physical compaction runs, and checks against the reference
+// profile that the forecast survives it.
+func TestProfileTrimCompacts(t *testing.T) {
+	m := cluster.New([]int{32, 32})
+	m.Alloc([]int{4, 4}, []int{0, 1})
+	var running []runInfo
+	for i := 0; i < 8; i++ {
+		running = append(running, runInfo{
+			finish: float64(10 * (i + 1)), comps: []int{1}, placement: []int{i % 2},
+		})
+	}
+	m.Alloc([]int{8}, []int{0})
+	running = append(running, runInfo{finish: 200, comps: []int{8}, placement: []int{0}})
+	p := newProfile(m, 0, running)
+	ref := newRefProfile(m, 0, running)
+	for _, now := range []float64{10, 20, 30, 40, 50, 60, 70} {
+		p.trim(now)
+		ref.trim(now)
+		if p.off != 0 && p.off >= p.n {
+			t.Fatalf("trim(%g): offset %d not compacted with %d live segments", now, p.off, p.n)
+		}
+		if err := profileMatchesRef(p, ref); err != nil {
+			t.Fatalf("trim(%g): %v", now, err)
+		}
 	}
 }
