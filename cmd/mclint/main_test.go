@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -141,6 +142,74 @@ func TestEndToEndViolations(t *testing.T) {
 	}
 }
 
+// TestJSONOutput checks the -json wire format: a dirty tree emits a
+// parseable array (exit 1), a clean tree emits an empty array (exit 0).
+func TestJSONOutput(t *testing.T) {
+	bin := buildLinter(t)
+	mod := writeModule(t, violatingModule)
+	stdout, stderr, code := runLinter(t, bin, mod, "-json", "./...")
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	var out []struct {
+		File string `json:"file"`
+		Line int    `json:"line"`
+		Col  int    `json:"col"`
+		Rule string `json:"rule"`
+		Msg  string `json:"msg"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &out); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, stdout)
+	}
+	if len(out) != 4 {
+		t.Fatalf("got %d JSON findings, want 4: %v", len(out), out)
+	}
+	if out[0].Rule != "noglobalrand" || out[0].Line != 4 {
+		t.Errorf("first finding = %+v, want noglobalrand at line 4", out[0])
+	}
+	for _, f := range out {
+		if f.File == "" || f.Rule == "" || f.Msg == "" || f.Line <= 0 || f.Col <= 0 {
+			t.Errorf("incomplete finding: %+v", f)
+		}
+	}
+	if !strings.Contains(stderr, "4 finding(s)") {
+		t.Errorf("stderr missing finding count: %q", stderr)
+	}
+
+	clean := writeModule(t, map[string]string{
+		"go.mod":                  "module coalloc\n\ngo 1.22\n",
+		"internal/policies/ok.go": "package policies\n\nfunc ok() int { return 1 }\n\nvar _ = ok\n",
+	})
+	stdout, _, code = runLinter(t, bin, clean, "-json", "./...")
+	if code != 0 {
+		t.Fatalf("clean -json exit code %d, want 0\nstdout:\n%s", code, stdout)
+	}
+	if strings.TrimSpace(stdout) != "[]" {
+		t.Errorf("clean -json stdout = %q, want []", stdout)
+	}
+}
+
+// TestTypeErrorExitCode pins the exit-code contract's failure half: a
+// module that fails to type-check is a load error (exit 2), not a
+// finding (exit 1).
+func TestTypeErrorExitCode(t *testing.T) {
+	bin := buildLinter(t)
+	mod := writeModule(t, map[string]string{
+		"go.mod":                      "module coalloc\n\ngo 1.22\n",
+		"internal/policies/broken.go": "package policies\n\nfunc f() int { return \"nope\" }\n",
+	})
+	stdout, stderr, code := runLinter(t, bin, mod, "./...")
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stderr, "mclint:") {
+		t.Errorf("stderr missing error report: %q", stderr)
+	}
+	if stdout != "" {
+		t.Errorf("stdout not empty on load failure: %q", stdout)
+	}
+}
+
 func TestEndToEndSuppressions(t *testing.T) {
 	bin := buildLinter(t)
 	mod := writeModule(t, map[string]string{
@@ -203,7 +272,11 @@ func TestEndToEndCleanTree(t *testing.T) {
 
 func TestListAndHelp(t *testing.T) {
 	bin := buildLinter(t)
-	rules := []string{"nowallclock", "noglobalrand", "nomaprange", "eventretain"}
+	rules := []string{
+		"nowallclock", "noglobalrand", "nomaprange", "eventretain", "jobretain",
+		"taintflow", "handleflow", "scratchescape", "closecheck", "noalloc",
+		"stalesuppress",
+	}
 
 	stdout, _, code := runLinter(t, bin, ".", "-list")
 	if code != 0 {

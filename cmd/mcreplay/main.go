@@ -54,7 +54,7 @@ func main() {
 			fatalf("%v", err)
 		}
 		recs, err = dastrace.ReadSWF(f)
-		f.Close()
+		f.Close() //detlint:ignore closecheck read-only handle; ReadSWF's error is the one that matters
 		if err != nil {
 			fatalf("%v", err)
 		}

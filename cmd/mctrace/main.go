@@ -129,7 +129,7 @@ func loadLog(args []string) []dastrace.Record {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	defer f.Close()
+	defer f.Close() //detlint:ignore closecheck read-only handle; ReadSWF's error is the one that matters
 	recs, err := dastrace.ReadSWF(f)
 	if err != nil {
 		fatalf("%v", err)

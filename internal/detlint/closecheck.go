@@ -1,0 +1,66 @@
+package detlint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CloseCheck flags statement-position calls to Close() or Flush() whose
+// error result is silently discarded — as a bare statement, a defer, or
+// a go statement. On buffered writers the write error often only
+// surfaces at Close/Flush, so dropping it means a truncated CSV or trace
+// reads as a successful run. PR 3 fixed every writer site by hand; this
+// rule locks the fix in module-wide.
+//
+// Read-only handles genuinely have nothing to report at Close; suppress
+// those sites with //detlint:ignore closecheck <reason>. An explicit
+// `_ = f.Close()` is not flagged — the discard is visible in the code —
+// but the suppression comment is preferred because it carries the why.
+var CloseCheck = &Analyzer{
+	Name: "closecheck",
+	Doc:  "no discarded error results from Close() or Flush() at statement position",
+	Run:  runCloseCheck,
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func runCloseCheck(p *Pass) {
+	info := p.Pkg.Info
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = ast.Unparen(n.X).(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = n.Call
+			case *ast.GoStmt:
+				call = n.Call
+			}
+			if call == nil {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			if name != "Close" && name != "Flush" {
+				return true
+			}
+			fn, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 ||
+				!types.Identical(sig.Results().At(0).Type(), errorType) {
+				return true
+			}
+			p.Reportf(call.Pos(),
+				"error result of %s is discarded; buffered writers surface write errors at %s — check it (read-only handles: //detlint:ignore closecheck <reason>)",
+				name, name)
+			return true
+		})
+	}
+}

@@ -15,7 +15,8 @@
 //
 // # Rules
 //
-// Five analyzers ship with the framework (see All):
+// Eleven analyzers ship with the framework (see All). The first five are
+// syntactic, per-package rules:
 //
 //   - nowallclock: no wall-clock time (time.Now, time.Since, time.Sleep,
 //     ...) in deterministic packages; simulations read sim.Engine.Now.
@@ -31,6 +32,30 @@
 //     package-level variables or sending them over channels; the per-run
 //     arena recycles every job when the run ends.
 //
+// The next five are semantic, whole-module rules built on a call graph
+// over go/types (see callgraph.go and DESIGN.md §14):
+//
+//   - taintflow: a call, inside a deterministic package, to any module
+//     function that transitively reaches the wall clock or math/rand —
+//     the interprocedural closure of nowallclock/noglobalrand.
+//   - handleflow: passing a pooled sim.Event or arena-owned workload.Job
+//     handle to a function that stores it where it can outlive the
+//     handle — the interprocedural closure of eventretain/jobretain.
+//   - scratchescape: retaining a slice obtained from
+//     policies.Ctx.Scratch() (or from a //detlint:scratch function) in a
+//     field, global or element, or returning it across the exported API
+//     boundary; scratch lifetime ends when the scheduling pass returns.
+//   - closecheck: a statement-level Close() or Flush() call whose error
+//     result is discarded; on buffered writers the Close error is the
+//     write error.
+//   - noalloc: a function annotated //detlint:noalloc must show no heap
+//     allocation in `go build -gcflags=-m` escape-analysis output.
+//
+// Finally, stalesuppress reports //detlint:ignore directives that
+// suppress nothing: a dead suppression hides the next real finding on
+// its line and must be deleted. stalesuppress findings cannot themselves
+// be suppressed.
+//
 // # Suppressions
 //
 // A finding can be silenced with a directive comment on the same line or
@@ -41,34 +66,63 @@
 // The reason is mandatory: a suppression documents *why* the invariant
 // holds at that site. Malformed directives (missing reason, unknown rule)
 // are themselves reported under the pseudo-rule "detlint".
+//
+// # Annotations
+//
+// Two function annotations extend the rule set. They go in the function's
+// doc comment (or on the line directly above the declaration):
+//
+//	//detlint:noalloc — the function body must not allocate (see noalloc)
+//	//detlint:scratch — the function returns pass-scoped scratch storage;
+//	  scratchescape tracks its results like Ctx.Scratch() slices
 package detlint
 
 import (
 	"fmt"
 	"go/token"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Analyzer is one lint rule: a stable identifier, a one-line description
 // (shown by `mclint -help`), and a function applied to each loaded
-// package.
+// package. Rules with facts set need the whole-module dataflow facts
+// (call graph, escape summaries) built before their Run executes.
 type Analyzer struct {
 	Name string
 	Doc  string
 	Run  func(*Pass)
+
+	facts bool // needs Module facts (call graph + dataflow summaries)
 }
 
 // All returns the full rule set in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{NoWallClock, NoGlobalRand, NoMapRange, EventRetain, JobRetain}
+	return []*Analyzer{
+		NoWallClock, NoGlobalRand, NoMapRange, EventRetain, JobRetain,
+		TaintFlow, HandleFlow, ScratchEscape, CloseCheck, NoAlloc,
+		StaleSuppress,
+	}
+}
+
+// StaleSuppress reports //detlint:ignore directives that matched no
+// finding. The detection itself happens in Run after suppression
+// filtering — every other analyzer has reported by then — so this
+// Analyzer's Run is empty; the entry exists to name the rule, document
+// it in the catalog, and let Config.Analyzers turn it off.
+var StaleSuppress = &Analyzer{
+	Name: "stalesuppress",
+	Doc:  "no //detlint:ignore directives that suppress nothing; delete dead suppressions",
+	Run:  func(*Pass) {},
 }
 
 // DeterministicPackages lists the module-relative import paths whose code
 // must stay bit-reproducible across runs and across serial/parallel
-// execution. nowallclock and nomaprange apply only inside this set;
-// noglobalrand and eventretain apply module-wide.
+// execution. nowallclock, nomaprange and taintflow apply only inside this
+// set; the other rules apply module-wide.
 var DeterministicPackages = []string{
 	"internal/analysis",
 	"internal/cluster",
@@ -100,6 +154,9 @@ func (f Finding) String() string {
 }
 
 // Pass hands one loaded package to one analyzer and collects its reports.
+// Analyzer Runs for different packages execute concurrently; a Pass and
+// its findings slice are confined to one goroutine, and the Module
+// (including its facts) is immutable during the analysis phase.
 type Pass struct {
 	Analyzer *Analyzer
 	Module   *Module
@@ -117,11 +174,26 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// reportAt records a finding at an already-resolved position. The
+// noalloc analyzer maps compiler diagnostics, which arrive as file:line
+// positions rather than token.Pos values.
+func (p *Pass) reportAt(pos token.Position, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Rule: p.Analyzer.Name,
+		Pos:  pos,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
 // Deterministic reports whether the package under analysis is in the
 // deterministic set (DeterministicPackages, relative to the module root).
 func (p *Pass) Deterministic() bool {
-	for _, rel := range DeterministicPackages {
-		if p.Pkg.Rel == rel {
+	return deterministicRel(p.Pkg.Rel)
+}
+
+func deterministicRel(rel string) bool {
+	for _, det := range DeterministicPackages {
+		if rel == det {
 			return true
 		}
 	}
@@ -141,9 +213,15 @@ type Config struct {
 }
 
 // Run loads the requested packages, applies the analyzers, filters
-// suppressed findings, and returns the survivors sorted by position. It
-// returns an error for load failures (no module, parse or type errors),
-// not for findings.
+// suppressed findings, reports stale suppressions, and returns the
+// survivors sorted by position. It returns an error for load failures
+// (no module, parse or type errors, a failed escape-analysis probe), not
+// for findings.
+//
+// Each package is loaded and type-checked exactly once and the result is
+// shared by every analyzer; the per-package analyzer runs execute in
+// parallel (bounded by GOMAXPROCS) and the merged output is sorted, so
+// the findings are deterministic regardless of scheduling.
 func Run(cfg Config) ([]Finding, error) {
 	if len(cfg.Patterns) == 0 {
 		cfg.Patterns = []string{"./..."}
@@ -156,22 +234,91 @@ func Run(cfg Config) ([]Finding, error) {
 	if err != nil {
 		return nil, err
 	}
-	var findings []Finding
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			a.Run(&Pass{Analyzer: a, Module: mod, Pkg: pkg, findings: &findings})
+	sup, bad := collectSuppressions(mod, pkgs, analyzers)
+	mod.sup = sup
+	annBad := collectAnnotations(mod, pkgs)
+	bad = append(bad, annBad...)
+	needFacts := false
+	for _, a := range analyzers {
+		if a.facts {
+			needFacts = true
 		}
 	}
-	sup, bad := collectSuppressions(mod, pkgs, analyzers)
+	if needFacts {
+		mod.buildFacts()
+	}
+	for _, a := range analyzers {
+		if a == NoAlloc {
+			if err := mod.buildNoAllocFacts(); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Per-package analysis, in parallel. Findings are collected into a
+	// per-package slice and merged in package order; the global sort
+	// below makes the output independent of goroutine scheduling either
+	// way.
+	perPkg := make([][]Finding, len(pkgs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var local []Finding
+			for _, a := range analyzers {
+				a.Run(&Pass{Analyzer: a, Module: mod, Pkg: pkg, findings: &local})
+			}
+			perPkg[i] = local
+		}(i, pkg)
+	}
+	wg.Wait()
+	var findings []Finding
+	for _, local := range perPkg {
+		findings = append(findings, local...)
+	}
 	findings = append(findings, bad...)
+
+	// Filter suppressed findings, crediting every directive that covers
+	// a match so the staleness pass below sees which directives earned
+	// their keep.
 	kept := findings[:0]
 	for _, f := range findings {
-		if sup.matches(f) {
+		if ds := sup.covering(f); len(ds) > 0 {
+			for _, d := range ds {
+				d.used = true
+			}
 			continue
 		}
 		kept = append(kept, f)
 	}
 	findings = kept
+
+	// Stale-suppression detection: a directive for an active rule that
+	// matched nothing suppresses nothing — and would silently swallow
+	// the next real finding on its line. Directives for inactive rules
+	// are dormant, not stale.
+	active := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		active[a.Name] = true
+	}
+	if active[StaleSuppress.Name] {
+		for _, d := range sup.all {
+			if d.used || !active[d.rule] {
+				continue
+			}
+			findings = append(findings, Finding{
+				Rule: StaleSuppress.Name,
+				Pos:  d.pos,
+				Msg: fmt.Sprintf("//detlint:ignore %s suppresses no finding; delete the dead directive",
+					d.rule),
+			})
+		}
+	}
+
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -199,39 +346,81 @@ func Run(cfg Config) ([]Finding, error) {
 	return dedup, nil
 }
 
-// ignoreDirective is the parsed form of one //detlint:ignore comment.
+// ignorePrefix introduces one //detlint:ignore comment.
 const ignorePrefix = "detlint:ignore"
 
-// suppressions maps (file, line, rule) triples to "this finding is
-// silenced". A directive on line L covers findings of its rule on L (the
-// trailing-comment style) and on L+1 (the comment-above style).
-type suppressions map[string]map[int]map[string]bool
+// directive is one parsed //detlint:ignore comment. used is set during
+// suppression filtering when a finding the directive covers was silenced,
+// and by the dataflow engines when they honor a store-site suppression.
+type directive struct {
+	pos  token.Position
+	rule string
+	used bool
+}
 
-func (s suppressions) add(file string, line int, rule string) {
-	byLine := s[file]
+// suppressions indexes directives by the (file, line, rule) triples they
+// cover. A directive on line L covers findings of its rule on L (the
+// trailing-comment style) and on L+1 (the comment-above style).
+type suppressions struct {
+	cover map[string]map[int]map[string][]*directive
+	all   []*directive
+}
+
+func newSuppressions() *suppressions {
+	return &suppressions{cover: make(map[string]map[int]map[string][]*directive)}
+}
+
+func (s *suppressions) add(d *directive) {
+	s.all = append(s.all, d)
+	byLine := s.cover[d.pos.Filename]
 	if byLine == nil {
-		byLine = make(map[int]map[string]bool)
-		s[file] = byLine
+		byLine = make(map[int]map[string][]*directive)
+		s.cover[d.pos.Filename] = byLine
 	}
-	for _, l := range [2]int{line, line + 1} {
+	for _, l := range [2]int{d.pos.Line, d.pos.Line + 1} {
 		rules := byLine[l]
 		if rules == nil {
-			rules = make(map[string]bool)
+			rules = make(map[string][]*directive)
 			byLine[l] = rules
 		}
-		rules[rule] = true
+		rules[d.rule] = append(rules[d.rule], d)
 	}
 }
 
-func (s suppressions) matches(f Finding) bool {
-	return s[f.Pos.Filename][f.Pos.Line][f.Rule]
+// covering returns the directives that silence f. stalesuppress findings
+// are never suppressible: a dead directive must be deleted, not excused.
+func (s *suppressions) covering(f Finding) []*directive {
+	if f.Rule == StaleSuppress.Name {
+		return nil
+	}
+	return s.cover[f.Pos.Filename][f.Pos.Line][f.Rule]
+}
+
+// sanctions reports whether a directive for any of the rules covers the
+// given position, marking matching directives used. The dataflow engines
+// call it at store sites: a suppressed store is a documented-safe store,
+// so it must not taint the functions that reach it. Only safe during the
+// single-threaded facts phase.
+func (s *suppressions) sanctions(pos token.Position, rules ...string) bool {
+	if s == nil {
+		return false
+	}
+	ok := false
+	for _, rule := range rules {
+		for _, d := range s.cover[pos.Filename][pos.Line][rule] {
+			d.used = true
+			ok = true
+		}
+	}
+	return ok
 }
 
 // collectSuppressions scans every comment of every loaded file for
 // //detlint:ignore directives. Malformed directives — missing rule,
-// missing reason, or a rule no active analyzer declares — are returned as
-// findings under the pseudo-rule "detlint".
-func collectSuppressions(mod *Module, pkgs []*Package, analyzers []*Analyzer) (suppressions, []Finding) {
+// missing reason, a rule no analyzer declares, or an attempt to suppress
+// stalesuppress — are returned as findings under the pseudo-rule
+// "detlint".
+func collectSuppressions(mod *Module, pkgs []*Package, analyzers []*Analyzer) (*suppressions, []Finding) {
 	// Validate rule names against the full catalog, not just the active
 	// analyzers: a directive for an inactive rule is dormant, not wrong.
 	catalog := All()
@@ -242,7 +431,7 @@ func collectSuppressions(mod *Module, pkgs []*Package, analyzers []*Analyzer) (s
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
-	sup := make(suppressions)
+	sup := newSuppressions()
 	var bad []Finding
 	report := func(pos token.Position, format string, args ...any) {
 		bad = append(bad, Finding{Rule: "detlint", Pos: pos, Msg: fmt.Sprintf(format, args...)})
@@ -266,11 +455,15 @@ func collectSuppressions(mod *Module, pkgs []*Package, analyzers []*Analyzer) (s
 						report(pos, "detlint:ignore names unknown rule %q (have %s)", rule, ruleNames(known))
 						continue
 					}
+					if rule == StaleSuppress.Name {
+						report(pos, "stalesuppress findings cannot be suppressed; delete the dead directive instead")
+						continue
+					}
 					if len(fields) < 2 {
 						report(pos, "detlint:ignore %s without a reason; suppressions must document why the invariant holds", rule)
 						continue
 					}
-					sup.add(pos.Filename, pos.Line, rule)
+					sup.add(&directive{pos: pos, rule: rule})
 				}
 			}
 		}
@@ -281,6 +474,9 @@ func collectSuppressions(mod *Module, pkgs []*Package, analyzers []*Analyzer) (s
 func ruleNames(known map[string]bool) string {
 	names := make([]string, 0, len(known))
 	for n := range known {
+		if n == StaleSuppress.Name {
+			continue // not suppressible, so not offered
+		}
 		names = append(names, n)
 	}
 	sort.Strings(names)

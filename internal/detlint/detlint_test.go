@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"regexp"
 	"sort"
@@ -18,7 +19,24 @@ import (
 // in its sources: every marked line must be reported under exactly the
 // marked rules, and nothing else may be reported.
 func TestFixtureFindings(t *testing.T) {
-	dir := filepath.Join("testdata", "src", "detmod")
+	checkFixtureModule(t, filepath.Join("testdata", "src", "detmod"))
+}
+
+// TestNoAllocFixture runs the suite over a module whose annotated
+// functions exercise the compiler escape gate: the probe shells out to
+// `go build -gcflags=-m`, so this lives outside the pure-Go fixture
+// test.
+func TestNoAllocFixture(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	checkFixtureModule(t, filepath.Join("testdata", "src", "noallocmod"))
+}
+
+// checkFixtureModule compares Run's findings over one fixture module
+// against the module's want markers, in both directions.
+func checkFixtureModule(t *testing.T, dir string) {
+	t.Helper()
 	findings, err := detlint.Run(detlint.Config{Dir: dir})
 	if err != nil {
 		t.Fatal(err)
@@ -90,8 +108,9 @@ func parseWants(t *testing.T, root string) map[string]int {
 }
 
 // TestMalformedSuppressions checks that directives without a rule,
-// without a reason, or naming an unknown rule are reported under the
-// pseudo-rule "detlint".
+// without a reason, naming an unknown rule, or trying to silence the
+// staleness reporter — plus a floating //detlint:noalloc annotation —
+// are reported under the pseudo-rule "detlint".
 func TestMalformedSuppressions(t *testing.T) {
 	dir := filepath.Join("testdata", "src", "badsuppress")
 	findings, err := detlint.Run(detlint.Config{Dir: dir})
@@ -110,7 +129,7 @@ func TestMalformedSuppressions(t *testing.T) {
 		lines = append(lines, f.Pos.Line)
 	}
 	sort.Ints(lines)
-	if want := []int{6, 9, 12}; !equalInts(lines, want) {
+	if want := []int{6, 9, 12, 15, 18}; !equalInts(lines, want) {
 		t.Errorf("detlint findings on lines %v, want %v", lines, want)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Module is one loaded Go module: the shared FileSet, the module path
@@ -21,7 +22,28 @@ type Module struct {
 	Fset *token.FileSet
 
 	pkgs map[string]*Package // keyed by import path
-	std  types.Importer      // stdlib resolver (go/importer "source")
+	std  types.Importer      // stdlib resolver (shared go/importer "source")
+
+	// Filled in by Run before the analysis phase; immutable during it.
+	sup   *suppressions // parsed //detlint:ignore directives
+	ann   *annotations  // //detlint:noalloc and //detlint:scratch sites
+	facts *moduleFacts  // call graph + dataflow summaries (semantic rules)
+	escm  *escapeDiags  // parsed `go build -gcflags=-m` output (noalloc)
+}
+
+// allPackages returns every successfully loaded package — the analysis
+// targets plus their module-internal dependencies — sorted by import
+// path. The interprocedural facts are built over this set so call chains
+// through non-target packages are still followed.
+func (m *Module) allPackages() []*Package {
+	pkgs := make([]*Package, 0, len(m.pkgs))
+	for _, p := range m.pkgs {
+		if p != nil {
+			pkgs = append(pkgs, p)
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs
 }
 
 // Package is one parsed and type-checked package of the module.
@@ -54,7 +76,7 @@ func load(dir string, patterns []string) (*Module, []*Package, error) {
 		Path: modPath,
 		Fset: fset,
 		pkgs: make(map[string]*Package),
-		std:  importer.ForCompiler(fset, "source", nil),
+		std:  stdImporter{},
 	}
 	var dirs []string
 	seen := make(map[string]bool)
@@ -291,6 +313,31 @@ func relOrEmpty(rel string) string {
 		return ""
 	}
 	return filepath.ToSlash(rel)
+}
+
+// stdImporter is the process-wide stdlib resolver. The go/importer
+// "source" importer parses and type-checks each standard-library package
+// from source, which dominates load time; one shared instance means fmt,
+// time, os and friends are resolved once per process instead of once per
+// Run (the importer caches checked packages internally). Stdlib positions
+// land in a private FileSet that is never rendered — findings only ever
+// point into module files — so sharing across Runs with distinct module
+// FileSets is safe. The mutex serializes concurrent Runs; within one Run
+// loading is single-threaded already.
+type stdImporter struct{}
+
+var (
+	stdImpMu sync.Mutex
+	stdImp   types.Importer
+)
+
+func (stdImporter) Import(path string) (*types.Package, error) {
+	stdImpMu.Lock()
+	defer stdImpMu.Unlock()
+	if stdImp == nil {
+		stdImp = importer.ForCompiler(token.NewFileSet(), "source", nil)
+	}
+	return stdImp.Import(path)
 }
 
 // moduleImporter resolves module-internal imports to already-checked

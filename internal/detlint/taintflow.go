@@ -1,0 +1,147 @@
+package detlint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// TaintFlow is the interprocedural closure of nowallclock and
+// noglobalrand: it flags a call, inside a deterministic package, to any
+// module function that transitively reaches the wall clock or the global
+// math/rand generator — however many helper hops sit in between. The
+// direct use itself is reported by the syntactic rules when it sits in a
+// deterministic package; taintflow catches the laundered case where the
+// nondeterminism hides in a helper outside the deterministic set (a cmd
+// utility, a script helper) that deterministic code then calls.
+var TaintFlow = &Analyzer{
+	Name:  "taintflow",
+	Doc:   "no calls in deterministic packages to functions that transitively reach time.Now or math/rand",
+	Run:   runTaintFlow,
+	facts: true,
+}
+
+// taintFact explains why one module function is tainted: the ultimate
+// source it reaches and the next hop toward it (nil when the function
+// touches the source directly). Following via links reconstructs a
+// shortest witness chain for the finding message.
+type taintFact struct {
+	source string
+	via    *types.Func
+}
+
+// buildTaint seeds taint at every module function that directly touches a
+// wall-clock function or a math/rand selector, then propagates it to
+// callers over the call graph (BFS, so each fact records a shortest
+// witness chain). A directly-touching site whose line carries a
+// nowallclock/noglobalrand suppression is a documented-safe use and does
+// not seed taint — the engine credits the directive so it is not reported
+// stale.
+func buildTaint(cg *callGraph) map[*types.Func]*taintFact {
+	taint := make(map[*types.Func]*taintFact)
+	var queue []*types.Func
+	for _, fi := range cg.funcs {
+		if src := directTaint(cg, fi); src != "" {
+			taint[fi.fn] = &taintFact{source: src}
+			queue = append(queue, fi.fn)
+		}
+	}
+	callers := make(map[*types.Func][]*types.Func)
+	for _, fi := range cg.funcs {
+		for _, callee := range cg.callees[fi.fn] {
+			callers[callee] = append(callers[callee], fi.fn)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, caller := range callers[fn] {
+			if _, done := taint[caller]; done {
+				continue
+			}
+			taint[caller] = &taintFact{source: taint[fn].source, via: fn}
+			queue = append(queue, caller)
+		}
+	}
+	return taint
+}
+
+// directTaint returns the name of the first nondeterminism source the
+// function touches directly, or "".
+func directTaint(cg *callGraph, fi *funcInfo) string {
+	src := ""
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		if src != "" {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := fi.pkg.Info.Uses[id].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pn.Imported().Path() {
+		case "time":
+			if wallClockFuncs[sel.Sel.Name] &&
+				!cg.mod.sup.sanctions(cg.mod.Fset.Position(sel.Pos()), NoWallClock.Name) {
+				src = "time." + sel.Sel.Name
+			}
+		case "math/rand", "math/rand/v2":
+			if !cg.mod.sup.sanctions(cg.mod.Fset.Position(sel.Pos()), NoGlobalRand.Name) {
+				src = "rand." + sel.Sel.Name
+			}
+		}
+		return true
+	})
+	return src
+}
+
+func runTaintFlow(p *Pass) {
+	if !p.Deterministic() {
+		return
+	}
+	facts := p.Module.facts
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, callee := range facts.cg.resolveCall(p.Pkg.Info, call) {
+				t := facts.taint[callee]
+				if t == nil {
+					continue
+				}
+				p.Reportf(call.Pos(),
+					"call to %s reaches %s in deterministic package %s (%s); use virtual time and internal/rng streams",
+					facts.cg.qualifiedName(callee, p.Pkg), t.source, p.Pkg.ImportPath,
+					facts.taintChain(callee, p.Pkg))
+			}
+			return true
+		})
+	}
+}
+
+// taintChain renders the witness path from fn to its source.
+func (f *moduleFacts) taintChain(fn *types.Func, from *Package) string {
+	var parts []string
+	for cur := fn; cur != nil; {
+		parts = append(parts, f.cg.qualifiedName(cur, from))
+		t := f.taint[cur]
+		if t == nil {
+			break
+		}
+		if t.via == nil {
+			parts = append(parts, t.source)
+			break
+		}
+		cur = t.via
+	}
+	return strings.Join(parts, " -> ")
+}

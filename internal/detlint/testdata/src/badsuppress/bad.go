@@ -12,4 +12,9 @@ var b = 0
 //detlint:ignore nosuchrule because reasons
 var c = 0
 
-var _ = a + b + c
+//detlint:ignore stalesuppress it reports dead directives and cannot be silenced
+var d = 0
+
+//detlint:noalloc
+
+var _ = a + b + c + d

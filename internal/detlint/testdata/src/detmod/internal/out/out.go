@@ -1,0 +1,35 @@
+// Package out is a fixture for closecheck: error results of Close and
+// Flush must not be silently discarded at statement position.
+package out
+
+type file struct{}
+
+func (file) Close() error { return nil }
+func (file) Flush() error { return nil }
+
+// quiet has a Close with no error result; calling it bare is fine.
+type quiet struct{}
+
+func (quiet) Close() {}
+
+func write(f file) {
+	defer f.Close() // want closecheck
+	f.Flush()       // want closecheck
+}
+
+func spawn(f file) {
+	go f.Close() // want closecheck
+}
+
+// writeChecked discards visibly or returns the error; nothing flagged.
+func writeChecked(f file) error {
+	_ = f.Flush()
+	return f.Close()
+}
+
+func hangup(q quiet) {
+	q.Close()
+	_ = write
+	_ = spawn
+	_ = writeChecked
+}

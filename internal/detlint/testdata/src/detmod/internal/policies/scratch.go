@@ -1,0 +1,109 @@
+// Scratch-lifetime fixtures: storage handed out by Ctx.Scratch() is
+// valid only for the current pass. Deriving, forwarding, and annotated
+// hand-out are each exercised, as are the permitted shapes (bundle
+// write-back, spread copy).
+package policies
+
+// Scratch is the per-pass scratch bundle; the analyzer resolves it by
+// name in this package, mirroring the real policies.Scratch.
+type Scratch struct {
+	Place []int
+	Used  []bool
+}
+
+// Ctx hands out the bundle, mirroring the real policies.Ctx boundary.
+type Ctx struct {
+	s Scratch
+}
+
+// Scratch returns the pass-scoped bundle.
+func (c *Ctx) Scratch() *Scratch {
+	return &c.s
+}
+
+var (
+	savedPlace []int
+	savedWin   []int
+	headers    [][]int
+	drain      = make(chan []int, 1)
+)
+
+// remember parks a scratch slice in a package-level variable.
+func remember(c *Ctx) {
+	s := c.Scratch()
+	savedPlace = s.Place // want scratchescape
+}
+
+// keeper retains whatever slice it is handed; passing scratch to keep is
+// therefore an interprocedural escape.
+type keeper struct {
+	saved []int
+}
+
+func (k *keeper) keep(place []int) {
+	k.saved = place
+}
+
+func retainViaKeep(c *Ctx, k *keeper) {
+	k.keep(c.Scratch().Place) // want scratchescape
+}
+
+// Leak hands scratch across the exported API boundary without the
+// annotation that documents the contract.
+func Leak(c *Ctx) []int {
+	return c.Scratch().Place // want scratchescape
+}
+
+// grab is an unexported passthrough: returning scratch is fine here, but
+// the scratch-returning fact propagates to its callers.
+func grab(c *Ctx) []int {
+	return c.Scratch().Place
+}
+
+func rememberGrabbed(c *Ctx) {
+	p := grab(c)
+	savedPlace = p // want scratchescape
+}
+
+// Window hands out pass-scoped storage under the documented contract,
+// like the real earliestStart: the annotation exempts the return and
+// marks the result scratch for callers.
+//
+//detlint:scratch
+func Window(c *Ctx) []int {
+	return c.Scratch().Place
+}
+
+func rememberWindow(c *Ctx) {
+	w := Window(c)
+	savedWin = w // want scratchescape
+}
+
+// ship sends scratch to another goroutine; collect retains the slice
+// header, while the spread copy right below it is the sanctioned way to
+// persist the contents.
+func ship(c *Ctx) {
+	s := c.Scratch()
+	drain <- s.Place // want scratchescape
+}
+
+func collect(c *Ctx) {
+	s := c.Scratch()
+	headers = append(headers, s.Place) // want scratchescape
+	kept := make([]int, 0, len(s.Place))
+	kept = append(kept, s.Place...)
+	_ = kept
+}
+
+// reset writes back into the bundle itself — the scratch's own storage
+// is exempt.
+func reset(c *Ctx) {
+	s := c.Scratch()
+	s.Place = s.Place[:0]
+	_ = remember
+	_ = retainViaKeep
+	_ = rememberGrabbed
+	_ = rememberWindow
+	_ = ship
+	_ = collect
+}

@@ -1,0 +1,3 @@
+module noallocmod
+
+go 1.22

@@ -1,0 +1,41 @@
+// Package kernel is a fixture for the noalloc escape gate: the
+// annotated functions are checked against the compiler's -gcflags=-m
+// diagnostics, so Grow's escaping make is a finding while Sum and the
+// panic-only Checked stay clean.
+package kernel
+
+// Grow allocates: the make escapes into the returned slice.
+//
+//detlint:noalloc
+func Grow(n int) []int {
+	buf := make([]int, n) // want noalloc
+	return buf
+}
+
+// Sum is allocation-free and must produce no finding.
+//
+//detlint:noalloc
+func Sum(xs []int) int {
+	s := 0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+// Checked allocates only inside a panic argument — failure-path
+// allocations are filtered, so this stays clean.
+//
+//detlint:noalloc
+func Checked(xs []int, i int) int {
+	if i < 0 || i >= len(xs) {
+		panic(message("kernel: index out of range", i))
+	}
+	return xs[i]
+}
+
+// message builds a panic payload; it is not annotated, so its own
+// allocations are unchecked.
+func message(s string, i int) string {
+	return s + ": " + string(rune('0'+i%10))
+}

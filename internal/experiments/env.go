@@ -262,7 +262,7 @@ func (e *Env) SaveCSV(name string, series []plot.Series) error {
 		return err
 	}
 	if err := plot.WriteCSV(f, series); err != nil {
-		f.Close()
+		f.Close() //detlint:ignore closecheck error path: the write failure being returned supersedes any close error
 		return err
 	}
 	// The Close error is the write error for buffered file data: dropping

@@ -162,6 +162,8 @@ func (p *profile) removeBreak(i int) {
 // cloneInto copies the profile's live segments into dst's storage (two
 // bulk copies) and returns dst. The clone shares no state with p; it is
 // the per-pass working copy transient reservations go into.
+//
+//detlint:noalloc
 func (p *profile) cloneInto(dst *profile) *profile {
 	dst.nc = p.nc
 	dst.off = 0
@@ -207,9 +209,12 @@ func (p *profile) ensureScratch(comps int) {
 // The returned placement is the profile's scratch buffer: it is valid
 // only until the next earliestStart call on this profile, so callers must
 // consume it (reserve, dispatch — Dispatch copies) before probing again.
+//
+//detlint:scratch
+//detlint:noalloc
 func (p *profile) earliestStart(comps []int, dur float64, fit cluster.Fit) (float64, []int) {
 	nc, S := p.nc, p.n
-	p.ensureScratch(len(comps))
+	p.ensureScratch(len(comps)) //detlint:ignore noalloc amortized high-water-mark growth of the retained scratch; steady state allocates nothing
 	times := p.times[p.off : p.off+S]
 	flat := p.flat[p.off*nc : (p.off+S)*nc]
 	deqCap := S
