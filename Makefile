@@ -48,7 +48,7 @@ bench:
 # pipes the output through the regression guard, which takes the
 # per-benchmark minimum (the noise filter for shared machines): the run
 # fails when the macro benchmarks (Fig5, BackfillPolicies/* — including
-# GS-CONS and GS-EASY — and FaultPathDisabled) regress more than 10% in
+# GS-CONS and GS-EASY — and FaultPathDisabled/*) regress more than 10% in
 # allocs/op or 35% in ns/op against the "smoke" snapshot of
 # BENCH_3.json — so CI catches benchmarks that rot, hot paths that
 # quietly start allocating, and algorithmic speedups that get

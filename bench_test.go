@@ -270,7 +270,11 @@ func BenchmarkBackfillPolicies(b *testing.B) {
 // zero-failure-rate fault spec attached. The spec is disabled, so the run
 // must cost the same as a plain run — the benchmark pins the "faults off
 // means zero overhead" contract (no fault events, no registry tracking,
-// no extra allocations) that the guardrail test pins for outputs.
+// no extra allocations) that the guardrail test pins for outputs. The
+// GS-CONS variant additionally covers the backfilling fault hooks
+// (checkpoint-aware durations, the capacity-change repair plumbing): the
+// retained-reservation fast path must stay exactly as free as it is
+// without a fault spec.
 func BenchmarkFaultPathDisabled(b *testing.B) {
 	der := workload.DeriveDefault()
 	spec := workload.Spec{
@@ -280,19 +284,24 @@ func BenchmarkFaultPathDisabled(b *testing.B) {
 		Clusters:        4,
 		ExtensionFactor: workload.DefaultExtensionFactor,
 	}
-	for i := 0; i < b.N; i++ {
-		cfg := core.Config{
-			ClusterSizes: []int{32, 32, 32, 32},
-			Spec:         spec,
-			Policy:       "LS",
-			WarmupJobs:   100,
-			MeasureJobs:  5000,
-			Seed:         uint64(i + 1),
-			Faults:       &faults.Spec{MTBF: 0, MTTR: 900},
-		}
-		if _, err := core.RunAtUtilization(cfg, 0.5); err != nil {
-			b.Fatal(err)
-		}
+	for _, policy := range []string{"LS", "GS-CONS"} {
+		policy := policy
+		b.Run(policy, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := core.Config{
+					ClusterSizes: []int{32, 32, 32, 32},
+					Spec:         spec,
+					Policy:       policy,
+					WarmupJobs:   100,
+					MeasureJobs:  5000,
+					Seed:         uint64(i + 1),
+					Faults:       &faults.Spec{MTBF: 0, MTTR: 900},
+				}
+				if _, err := core.RunAtUtilization(cfg, 0.5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -30,7 +30,11 @@ func main() {
 	progress := flag.Bool("progress", false, "print one line per completed sweep point (stderr)")
 	metrics := flag.Bool("metrics", false, "print an aggregate metrics summary after the experiments")
 	pergen := flag.Bool("pergen", false, "regenerate the workload inside every policy run instead of sharing a per-point trace (ablation; results are identical)")
-	mttr := flag.Float64("mttr", 0, "mean processor repair time in s for the faults experiment (0 = 900 s default)")
+	mttr := flag.Float64("mttr", 0, "mean processor repair time in s for the fault experiments (0 = 900 s default)")
+	mtbf := flag.Float64("mtbf", 0, "per-cluster mean time between failures in s for the checkpoint experiment (0 = 1000 s default; the faults experiment sweeps its own grid)")
+	retryBase := flag.Float64("retry-base", 0, "base resubmit backoff for killed jobs in s (0 = 10 s default)")
+	retryCap := flag.Float64("retry-cap", 0, "resubmit backoff cap in s (0 = 600 s default)")
+	ckptInterval := flag.Float64("checkpoint-interval", 0, "checkpoint interval in s for the faults experiment (0 = no checkpointing; the checkpoint experiment sweeps its own grid)")
 	lookahead := flag.Int("lookahead", 0, "conservative-backfilling reservation bound (0 = default 32; must be >= 1)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Usage = func() {
@@ -65,7 +69,31 @@ func main() {
 		params.MeasureJobs = *measure
 	}
 	params.DataDir = *dataDir
+	for _, f := range []struct {
+		name  string
+		value float64
+	}{
+		{"-mttr", *mttr},
+		{"-mtbf", *mtbf},
+		{"-retry-base", *retryBase},
+		{"-retry-cap", *retryCap},
+		{"-checkpoint-interval", *ckptInterval},
+	} {
+		if f.value < 0 || f.value != f.value {
+			fmt.Fprintf(os.Stderr, "mcexp: %s %g must be non-negative\n", f.name, f.value)
+			os.Exit(2)
+		}
+	}
+	if *retryCap > 0 && *retryCap < max(*retryBase, 10) {
+		fmt.Fprintf(os.Stderr, "mcexp: -retry-cap %g is below the retry base %g\n",
+			*retryCap, max(*retryBase, 10))
+		os.Exit(2)
+	}
 	params.FaultMTTR = *mttr
+	params.FaultMTBF = *mtbf
+	params.FaultRetryBase = *retryBase
+	params.FaultRetryCap = *retryCap
+	params.FaultCheckpointInterval = *ckptInterval
 	if *lookahead != 0 && *lookahead < 1 {
 		fmt.Fprintf(os.Stderr, "mcexp: -lookahead %d must be >= 1\n", *lookahead)
 		os.Exit(2)

@@ -43,6 +43,7 @@ func main() {
 	mttr := flag.Float64("mttr", 900, "mean time to repair a failed processor in s")
 	retryBase := flag.Float64("retry-base", 10, "base resubmit backoff for killed jobs in s")
 	retryCap := flag.Float64("retry-cap", 600, "resubmit backoff cap in s")
+	ckptInterval := flag.Float64("checkpoint-interval", 0, "checkpoint interval for killed jobs in s (0 = no checkpointing; requires -mtbf)")
 	metrics := flag.Bool("metrics", false, "print a metrics summary block after the results")
 	tracePath := flag.String("trace", "", "write a JSONL event trace to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -107,6 +108,9 @@ func main() {
 		fatalf("-lookahead %d must be >= 1", *lookahead)
 	}
 
+	if *ckptInterval != 0 && *mtbf <= 0 {
+		fatalf("-checkpoint-interval %g without -mtbf: checkpointing only matters when failures can kill jobs", *ckptInterval)
+	}
 	if *backlog {
 		if *mtbf > 0 {
 			fatalf("-mtbf cannot be combined with -backlog (constant-backlog runs measure reliable-hardware capacity)")
@@ -150,10 +154,11 @@ func main() {
 	}
 	if *mtbf > 0 {
 		cfg.Faults = &faults.Spec{
-			MTBF:      *mtbf,
-			MTTR:      *mttr,
-			RetryBase: *retryBase,
-			RetryCap:  *retryCap,
+			MTBF:               *mtbf,
+			MTTR:               *mttr,
+			RetryBase:          *retryBase,
+			RetryCap:           *retryCap,
+			CheckpointInterval: *ckptInterval,
 		}
 	}
 	var observer *obs.Observer
@@ -208,6 +213,9 @@ func main() {
 			res.FailuresInjected, res.FailuresSkipped, res.Repairs)
 		fmt.Printf("jobs killed         %d (resubmits %d)\n", res.JobsKilled, res.Resubmits)
 		fmt.Printf("work lost           %.0f proc-s\n", res.WorkLost)
+		if *ckptInterval > 0 {
+			fmt.Printf("work saved          %.0f proc-s (checkpoint interval %.0f s)\n", res.WorkSaved, *ckptInterval)
+		}
 		fmt.Printf("mean avail fraction %.4f\n", res.MeanAvailableFraction)
 	}
 	if *metrics {

@@ -78,8 +78,11 @@ type Config struct {
 	// faults). The fault draws come from their own named streams, so a
 	// workload trace stays valid under any failure rate. A nil or
 	// zero-rate spec leaves the run bit-identical to a fault-free one —
-	// pinned by a guardrail test. Only the fault-aware policies (GS, SC,
-	// LS, LP, GS-SPF and variants) accept a fault spec.
+	// pinned by a guardrail test. Every built-in policy is fault-aware,
+	// including the backfilling pair (GS-EASY, GS-CONS), which repair
+	// their availability profiles on kills and capacity changes; Validate
+	// still rejects the combination for any future policy that does not
+	// implement policies.FaultAware.
 	Faults *faults.Spec
 }
 
@@ -141,7 +144,7 @@ func (c *Config) Validate() error {
 			return err
 		}
 		if _, ok := pol.(policies.FaultAware); !ok {
-			return fmt.Errorf("core: policy %s does not support fault injection (backfilling policies track running jobs and cannot have them aborted)", c.Policy)
+			return fmt.Errorf("core: policy %s does not implement policies.FaultAware (abort handling, capacity-change repair of any retained scheduling state), so it cannot run with fault injection", c.Policy)
 		}
 	}
 	return nil
@@ -309,6 +312,10 @@ type Result struct {
 	// WorkLost is the processor-seconds of service discarded by aborts
 	// over the whole run.
 	WorkLost float64
+	// WorkSaved is the processor-seconds of in-flight service that
+	// checkpointing preserved across aborts; zero unless the fault spec
+	// enables a checkpoint interval.
+	WorkSaved float64
 	// MeanAvailableFraction is the time-average fraction of processors
 	// not down over the measurement window; 1 exactly when faults are
 	// disabled.

@@ -33,16 +33,12 @@ func stripElisionLines(s string) string {
 // additionally cover kills and capacity changes arriving between passes.
 func TestElisionEndToEndGuardrail(t *testing.T) {
 	specs := map[string]*faults.Spec{
-		"faultfree": nil,
-		"faulty":    {MTBF: 4000, MTTR: 600, RetryBase: 10, RetryCap: 600},
+		"faultfree":   nil,
+		"faulty":      {MTBF: 4000, MTTR: 600, RetryBase: 10, RetryCap: 600},
+		"faulty-ckpt": {MTBF: 1000, MTTR: 600, RetryBase: 10, RetryCap: 600, CheckpointInterval: 120},
 	}
 	for _, policy := range []string{"GS-CONS", "GS-EASY", "GS", "GS-SPF", "LS", "LP"} {
 		for label, fs := range specs {
-			if fs != nil && (policy == "GS-CONS" || policy == "GS-EASY") {
-				// The backfilling policies are not fault-aware (no
-				// JobKilled handling); fault runs reject them.
-				continue
-			}
 			t.Run(policy+"/"+label, func(t *testing.T) {
 				cfg := faultTestConfig(t, policy, fs)
 				prev := policies.SetPassElision(false)

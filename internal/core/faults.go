@@ -95,22 +95,33 @@ func (s *simulation) nodeFail(c int) {
 	s.availCap.Set(now, float64(s.m.TotalAvail()))
 	s.obs.NodeFailed(now, c, s.m.TotalAvail())
 	s.eng.ScheduleAfter(s.flt.inj.RepairDelay(c), evNodeRepair, c)
+	// Notified after Fail so the policy sees the post-failure capacity:
+	// with a victim, the abort released its processors on every cluster
+	// except the one the failure just consumed; without one, an idle
+	// processor went down silently and only the capacity forecast of a
+	// backfilling policy needs the news.
 	if victim != nil {
-		// Notified after Fail so the policy's pass sees the post-failure
-		// capacity: the abort released the victim's processors on every
-		// cluster except the one the failure just consumed.
-		s.faultPol.JobKilled(s, victim)
-		if s.obs != nil {
+		s.faultPol.JobKilled(s, victim, c)
+		if s.obs.Enabled() {
 			s.obs.QueueDepth(s.pol.Queued())
 		}
+	} else {
+		s.faultPol.CapacityLost(s, c)
 	}
 }
 
 // abortRunning kills registry entry idx because of a failure on cluster c:
 // cancel its departure, release its processors, undo its work accounting,
-// and schedule its resubmission after a capped exponential backoff. The
-// job keeps its original arrival time, so its eventual response time
-// includes everything the failure cost it.
+// advance its checkpoint, and schedule its resubmission after a capped
+// exponential backoff. The job keeps its original arrival time, so its
+// eventual response time includes everything the failure cost it.
+//
+// With checkpointing enabled the kill forfeits only the progress since the
+// last checkpoint: the job's total progress (preserved checkpoint plus the
+// elapsed run) rounds down to a checkpoint multiple, which becomes the new
+// Checkpointed — the resubmitted dispatch runs only the remainder. The
+// accounting undo uses the checkpoint as it was when Dispatch charged the
+// integrals, before the kill advances it.
 func (s *simulation) abortRunning(idx, c int, now float64) {
 	j := s.flt.running[idx]
 	ev := s.flt.departures[idx]
@@ -118,23 +129,33 @@ func (s *simulation) abortRunning(idx, c int, now float64) {
 	if !s.eng.Cancel(ev) {
 		panic(fmt.Sprintf("core: departure of aborted job %d was not pending", j.ID))
 	}
-	lost := (now - j.StartTime) * float64(j.TotalSize)
+	progress := j.Checkpointed + (now - j.StartTime)
+	kept := s.flt.inj.Spec.Checkpointed(progress)
+	lost := (progress - kept) * float64(j.TotalSize)
+	saved := (kept - j.Checkpointed) * float64(j.TotalSize)
 	s.m.Release(j.Components, j.Placement)
 	s.busy.Set(now, float64(s.m.Busy()))
 	for i, pc := range j.Placement {
 		s.busyPer[pc].Add(now, -float64(j.Components[i]))
 	}
 	if s.measuring && j.StartTime >= s.measureFrom {
-		// Dispatch charged the full service to the utilization integrals;
-		// the job will be recharged when it is dispatched again.
-		s.grossWork -= float64(j.TotalSize) * j.ExtendedServiceTime
-		s.netWork -= float64(j.TotalSize) * j.ServiceTime
+		// Dispatch charged the remaining service to the utilization
+		// integrals; the job will be recharged when it is dispatched again.
+		rem := j.RemainingTime()
+		s.grossWork -= float64(j.TotalSize) * rem
+		if j.Checkpointed > 0 {
+			s.netWork -= float64(j.TotalSize) * j.ServiceTime * (rem / j.ExtendedServiceTime)
+		} else {
+			s.netWork -= float64(j.TotalSize) * j.ServiceTime
+		}
 	}
+	j.Checkpointed = kept
 	j.Retries++
 	s.flt.inj.Stats.Kills++
 	s.flt.inj.Stats.WorkLost += lost
+	s.flt.inj.Stats.WorkSaved += saved
 	s.flt.killedPending++
-	s.obs.JobKilled(now, j.ID, c, lost)
+	s.obs.JobKilled(now, j.ID, c, lost, saved)
 	s.eng.ScheduleAfter(s.flt.inj.Spec.Backoff(j.Retries), evResubmit, j)
 }
 
@@ -146,8 +167,8 @@ func (s *simulation) nodeRepair(c int) {
 	s.flt.inj.Stats.Repairs++
 	s.availCap.Set(now, float64(s.m.TotalAvail()))
 	s.obs.NodeRepaired(now, c, s.m.TotalAvail())
-	s.faultPol.CapacityRestored(s)
-	if s.obs != nil {
+	s.faultPol.CapacityRestored(s, c)
+	if s.obs.Enabled() {
 		s.obs.QueueDepth(s.pol.Queued())
 	}
 }
@@ -161,7 +182,7 @@ func (s *simulation) resubmit(j *workload.Job) {
 	s.flt.killedPending--
 	s.obs.JobResubmitted(now, j.ID, j.Retries)
 	s.pol.Submit(s, j)
-	if s.obs != nil {
+	if s.obs.Enabled() {
 		s.obs.QueueDepth(s.pol.Queued())
 	}
 }

@@ -57,7 +57,7 @@ func runObserved(t *testing.T, cfg Config, util float64) (Result, string, string
 // fault spec and a disabled (zero-MTBF) spec must produce byte-identical
 // traces, metrics, and equal Results for every fault-aware policy family.
 func TestFaultFreeGuardrail(t *testing.T) {
-	for _, policy := range []string{"GS", "LS", "LP", "GS-SPF"} {
+	for _, policy := range []string{"GS", "LS", "LP", "GS-SPF", "GS-EASY", "GS-CONS"} {
 		t.Run(policy, func(t *testing.T) {
 			base := faultTestConfig(t, policy, nil)
 			disabled := faultTestConfig(t, policy, &faults.Spec{MTBF: 0, MTTR: 900})
@@ -87,7 +87,7 @@ func TestFaultFreeGuardrail(t *testing.T) {
 // metrics and equal in Result.
 func TestFaultInjectionDeterministic(t *testing.T) {
 	spec := &faults.Spec{MTBF: 2000, MTTR: 600}
-	for _, policy := range []string{"GS", "LS", "LP"} {
+	for _, policy := range []string{"GS", "LS", "LP", "GS-EASY", "GS-CONS"} {
 		t.Run(policy, func(t *testing.T) {
 			resA, traceA, metricsA := runObserved(t, faultTestConfig(t, policy, spec), 0.6)
 			resB, traceB, metricsB := runObserved(t, faultTestConfig(t, policy, spec), 0.6)
@@ -140,18 +140,67 @@ func TestFaultInjectionKillsAndRepairs(t *testing.T) {
 	}
 }
 
-// TestFaultConfigValidation rejects fault specs on backfilling policies and
-// incomplete specs.
+// TestFaultConfigValidation accepts fault specs on every built-in policy
+// (the backfilling pair became FaultAware) and rejects incomplete specs.
 func TestFaultConfigValidation(t *testing.T) {
-	bad := faultTestConfig(t, "GS-EASY", &faults.Spec{MTBF: 1000, MTTR: 900})
-	bad.ArrivalRate = 1
-	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "does not support fault injection") {
-		t.Errorf("GS-EASY with faults validated, err = %v", err)
+	for _, policy := range []string{"GS", "LS", "LP", "GS-SPF", "GS-EASY", "GS-CONS"} {
+		ok := faultTestConfig(t, policy, &faults.Spec{MTBF: 1000, MTTR: 900})
+		ok.ArrivalRate = 1
+		if err := ok.Validate(); err != nil {
+			t.Errorf("%s with faults rejected: %v", policy, err)
+		}
 	}
 	noMTTR := faultTestConfig(t, "GS", &faults.Spec{MTBF: 1000})
 	noMTTR.ArrivalRate = 1
 	if err := noMTTR.Validate(); err == nil || !strings.Contains(err.Error(), "MTTR") {
 		t.Errorf("missing MTTR validated, err = %v", err)
+	}
+	badCkpt := faultTestConfig(t, "GS-CONS", &faults.Spec{MTBF: 1000, MTTR: 900, CheckpointInterval: -60})
+	badCkpt.ArrivalRate = 1
+	if err := badCkpt.Validate(); err == nil || !strings.Contains(err.Error(), "checkpoint interval") {
+		t.Errorf("negative checkpoint interval validated, err = %v", err)
+	}
+}
+
+// TestCheckpointModel exercises the checkpoint/restart fault model
+// end-to-end on the backfilling policies: checkpointing preserves work
+// (WorkSaved > 0), the per-kill loss is structurally bounded by one
+// interval of the largest job (lost < kills * interval * maxSize), the
+// saved work shows up in the kill trace records, and disabling the
+// interval keeps WorkSaved at exactly zero.
+func TestCheckpointModel(t *testing.T) {
+	// The interval is short relative to service times because victim
+	// selection aborts the most recently started occupant: a long interval
+	// would let every victim die before its first checkpoint and the test
+	// would vacuously pass the zero case.
+	const interval = 60.0
+	for _, policy := range []string{"GS-EASY", "GS-CONS"} {
+		t.Run(policy, func(t *testing.T) {
+			spec := &faults.Spec{MTBF: 500, MTTR: 900, CheckpointInterval: interval}
+			res, trace, metrics := runObserved(t, faultTestConfig(t, policy, spec), 0.7)
+			if res.JobsKilled == 0 {
+				t.Fatal("no kills at MTBF 500 / util 0.7; the scenario tests nothing")
+			}
+			if res.WorkSaved <= 0 {
+				t.Errorf("WorkSaved = %g with %d kills and checkpointing on", res.WorkSaved, res.JobsKilled)
+			}
+			// Each kill forfeits strictly less than one checkpoint interval
+			// of progress per processor; 128 is the workload's largest job.
+			if bound := float64(res.JobsKilled) * interval * 128; res.WorkLost >= bound {
+				t.Errorf("WorkLost = %g >= structural bound %g", res.WorkLost, bound)
+			}
+			if !strings.Contains(trace, `"saved":`) {
+				t.Error("kill records carry no saved field")
+			}
+			if !strings.Contains(metrics, "faults.saved_work") {
+				t.Error("metrics block has no faults.saved_work")
+			}
+
+			off, _, _ := runObserved(t, faultTestConfig(t, policy, &faults.Spec{MTBF: 500, MTTR: 900}), 0.7)
+			if off.WorkSaved != 0 {
+				t.Errorf("WorkSaved = %g without checkpointing, want exactly 0", off.WorkSaved)
+			}
+		})
 	}
 }
 

@@ -189,7 +189,7 @@ func Replay(cfg ReplayConfig) (ReplayResult, error) {
 		if q := pol.Queued(); q > maxQueue {
 			maxQueue = q
 		}
-		if rs.obs != nil {
+		if rs.obs.Enabled() {
 			rs.obs.QueueDepth(pol.Queued())
 		}
 	}

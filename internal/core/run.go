@@ -126,12 +126,21 @@ func (s *simulation) Dispatch(j *workload.Job, placement []int) {
 	for i, c := range placement {
 		s.busyPer[c].Add(now, float64(j.Components[i]))
 	}
+	// A checkpointed resubmission runs only its remainder and charges the
+	// utilization integrals pro rata. The branch keeps the fault-free path
+	// literally unchanged — Checkpointed is only ever nonzero when the
+	// checkpoint fault model aborted this job past its first checkpoint.
+	svc, net := j.ExtendedServiceTime, j.ServiceTime
+	if j.Checkpointed > 0 {
+		svc = j.RemainingTime()
+		net = j.ServiceTime * (svc / j.ExtendedServiceTime)
+	}
 	if s.measuring {
-		s.grossWork += float64(j.TotalSize) * j.ExtendedServiceTime
-		s.netWork += float64(j.TotalSize) * j.ServiceTime
+		s.grossWork += float64(j.TotalSize) * svc
+		s.netWork += float64(j.TotalSize) * net
 	}
 	s.obs.Start(now, j.ID, now-j.ArrivalTime, placement)
-	ev := s.eng.ScheduleAfter(j.ExtendedServiceTime, evDeparture, j)
+	ev := s.eng.ScheduleAfter(svc, evDeparture, j)
 	if s.flt != nil {
 		s.flt.track(j, ev)
 	}
@@ -191,7 +200,7 @@ func (s *simulation) depart(j *workload.Job) {
 		return
 	}
 	s.pol.JobDeparted(s, j)
-	if s.obs != nil {
+	if s.obs.Enabled() {
 		s.obs.QueueDepth(s.pol.Queued())
 	}
 }
@@ -256,7 +265,7 @@ func (s *simulation) arrive() {
 	s.obs.Arrival(now, j.ID, j.TotalSize, j.Components, j.Queue)
 	s.inSystem.Add(now, 1)
 	s.pol.Submit(s, j)
-	if s.obs != nil {
+	if s.obs.Enabled() {
 		s.obs.QueueDepth(s.pol.Queued())
 	}
 	if s.cursor != nil {
@@ -414,6 +423,7 @@ func Run(cfg Config) (Result, error) {
 		res.JobsKilled = int(st.Kills)
 		res.Resubmits = int(st.Resubmits)
 		res.WorkLost = st.WorkLost
+		res.WorkSaved = st.WorkSaved
 		// Aborted jobs whose backoff has not elapsed are still in the
 		// system: count them with the backlog.
 		res.FinalQueue += s.flt.killedPending
@@ -527,6 +537,7 @@ func mergeReplications(results []Result) Result {
 		merged.JobsKilled += r.JobsKilled
 		merged.Resubmits += r.Resubmits
 		merged.WorkLost += r.WorkLost
+		merged.WorkSaved += r.WorkSaved
 		availFrac.Add(r.MeanAvailableFraction)
 		resp.Add(r.MeanResponse)
 		if !math.IsNaN(r.MeanResponseLocal) {

@@ -41,9 +41,9 @@ const defaultFaultMTTR = 900
 // early-stop ends the curve at the first saturated point.
 var faultMTBFGrid = []float64{0, 5000, 2000, 1000, 500}
 
-// Degradation sweeps the failure rate for the GS, LS and LP policies at a
-// fixed moderate load and reports the response-time degradation curve with
-// the fault accounting behind it.
+// Degradation sweeps the failure rate for the GS, LS, LP and backfilling
+// policies at a fixed moderate load and reports the response-time
+// degradation curve with the fault accounting behind it.
 func Degradation(e *Env) (string, error) {
 	mttr := e.FaultMTTR
 	if mttr == 0 {
@@ -54,15 +54,21 @@ func Degradation(e *Env) (string, error) {
 	var b strings.Builder
 	b.WriteString("Extension — response-time degradation under processor failures\n")
 	fmt.Fprintf(&b, "(offered gross utilization %.2f, MTTR %.0f s, per-cluster Poisson failures,\nmulticluster %v, limit 16, DAS-s-64)\n\n", util, mttr, MulticlusterSizes)
-	fmt.Fprintf(&b, "%-6s %8s %11s %9s %7s %10s %13s %7s\n",
+	fmt.Fprintf(&b, "%-7s %8s %11s %9s %7s %10s %13s %7s\n",
 		"policy", "MTBF(s)", "fail/hr/cl", "resp(s)", "kills", "resubmits", "lost(proc-s)", "avail")
 	var panel []plot.Series
-	for _, pol := range []string{"GS", "LS", "LP"} {
+	for _, pol := range []string{"GS", "LS", "LP", "GS-EASY", "GS-CONS"} {
 		cs := CurveSpec{Label: pol, Policy: pol, ClusterSizes: MulticlusterSizes, Spec: spec}
 		results, err := e.sweep(pol+" degradation", faultMTBFGrid, func(mtbf float64) (core.Result, error) {
 			var fs *faults.Spec
 			if mtbf > 0 {
-				fs = &faults.Spec{MTBF: mtbf, MTTR: mttr}
+				fs = &faults.Spec{
+					MTBF:               mtbf,
+					MTTR:               mttr,
+					RetryBase:          e.FaultRetryBase,
+					RetryCap:           e.FaultRetryCap,
+					CheckpointInterval: e.FaultCheckpointInterval,
+				}
 			}
 			return e.FaultPoint(cs, util, fs)
 		})
@@ -81,7 +87,7 @@ func Degradation(e *Env) (string, error) {
 			if res.Saturated {
 				resp += "*"
 			}
-			fmt.Fprintf(&b, "%-6s %8.0f %11.2f %9s %7d %10d %13.0f %7.4f\n",
+			fmt.Fprintf(&b, "%-7s %8.0f %11.2f %9s %7d %10d %13.0f %7.4f\n",
 				pol, mtbf, perHour, resp, res.JobsKilled, res.Resubmits,
 				res.WorkLost, res.MeanAvailableFraction)
 		}

@@ -57,9 +57,22 @@ type Params struct {
 	// and replications then execute serially, in deterministic order.
 	Observer *obs.Observer
 	// FaultMTTR is the mean time to repair a failed processor, in virtual
-	// seconds, used by the fault-injection degradation experiment. Zero
-	// means the 900 s default.
+	// seconds, used by the fault-injection experiments. Zero means the
+	// 900 s default.
 	FaultMTTR float64
+	// FaultMTBF is the per-cluster mean time between failures, in virtual
+	// seconds, for the checkpoint experiment (the degradation experiment
+	// sweeps its own MTBF grid). Zero means the 1000 s default.
+	FaultMTBF float64
+	// FaultRetryBase and FaultRetryCap override the resubmission backoff
+	// of killed jobs (zeros mean the 10 s / 600 s defaults; see
+	// faults.Spec).
+	FaultRetryBase, FaultRetryCap float64
+	// FaultCheckpointInterval enables checkpoint/restart in the
+	// degradation experiment: kills then forfeit only the work since the
+	// last checkpoint. Zero (the default) disables checkpointing there;
+	// the checkpoint experiment sweeps its own interval grid.
+	FaultCheckpointInterval float64
 	// Lookahead bounds the number of queued jobs that receive
 	// reservations per conservative-backfilling pass (as in
 	// core.Config.Lookahead; 0 = the default 32, explicit values must be

@@ -25,9 +25,9 @@ func tinyParams() Params {
 
 func TestRegistryNames(t *testing.T) {
 	names := Names()
-	want := []string{"backfill", "discipline", "extsweep", "faults", "fig1", "fig2", "fig3",
-		"fig4", "fig5", "fig6", "fig7", "fits", "ratio", "reenable", "reqtypes",
-		"sizeclasses", "table1", "table2", "table3", "workload"}
+	want := []string{"backfill", "checkpoint", "discipline", "extsweep", "faults", "fig1",
+		"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fits", "ratio", "reenable",
+		"reqtypes", "sizeclasses", "table1", "table2", "table3", "workload"}
 	if len(names) != len(want) {
 		t.Fatalf("names = %v", names)
 	}
@@ -354,6 +354,30 @@ func TestDegradationRenders(t *testing.T) {
 	// The grid's fault-free anchor point must be present.
 	if !strings.Contains(out, "0.00") {
 		t.Error("degradation output missing the zero-failure-rate row")
+	}
+}
+
+// TestCheckpointRenders runs the checkpoint-interval sweep at test fidelity
+// and checks the report carries both policies, the no-checkpointing
+// baseline, and the saved-work accounting.
+func TestCheckpointRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	env := NewEnv(tinyParams())
+	out, err := Run("checkpoint", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{
+		"work lost vs checkpoint interval",
+		"MTBF 1000 s", "MTTR 900 s",
+		"saved(proc-s)", "lost/kill",
+		"GS-EASY", "GS-CONS",
+	} {
+		if !strings.Contains(out, w) {
+			t.Errorf("checkpoint output missing %q", w)
+		}
 	}
 }
 

@@ -35,6 +35,7 @@ var registry = map[string]struct {
 	"discipline":  {Discipline, "ablation: FCFS vs SPF vs EASY queue discipline"},
 	"sizeclasses": {SizeClasses, "ablation: response time by total-job-size class"},
 	"faults":      {Degradation, "extension: response-time degradation under processor failures"},
+	"checkpoint":  {Checkpoint, "extension: checkpoint/restart work-loss vs checkpoint interval"},
 }
 
 // Names returns the experiment ids in a stable order.
@@ -67,7 +68,7 @@ func All(e *Env) (string, error) {
 		"workload", "table1", "fig1", "fig2", "table2", "ratio",
 		"fig3", "fig4", "fig5", "fig6", "fig7", "table3",
 		"reqtypes", "fits", "extsweep", "reenable", "backfill", "discipline",
-		"sizeclasses", "faults",
+		"sizeclasses", "faults", "checkpoint",
 	}
 	var b strings.Builder
 	for _, name := range order {

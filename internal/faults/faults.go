@@ -16,6 +16,11 @@
 // but the process keeps ticking). Repairs return processors to the idle
 // pool and give the policy a scheduling opportunity under the same
 // ordering contract as a departure.
+//
+// An optional checkpoint/restart model (Spec.CheckpointInterval) softens
+// the abort: a job checkpoints every interval of extended-service runtime,
+// a kill forfeits only the progress since the last checkpoint, and the
+// resubmitted job runs only its remainder.
 package faults
 
 import (
@@ -44,6 +49,14 @@ type Spec struct {
 	// Zero values default to 10 s and 600 s.
 	RetryBase float64
 	RetryCap  float64
+	// CheckpointInterval, when positive, enables periodic checkpointing:
+	// a running job checkpoints its progress every CheckpointInterval
+	// seconds of extended-service runtime, and a kill forfeits only the
+	// work since the last checkpoint. The preserved progress shortens the
+	// job's next dispatch (workload.Job.RemainingTime). Zero disables
+	// checkpointing — a kill forfeits everything, the pre-checkpoint
+	// semantics.
+	CheckpointInterval float64
 }
 
 // Enabled reports whether the spec injects any failures. It is safe on a
@@ -78,7 +91,23 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("faults: retry cap %g must be finite and at least the base %g",
 			s.RetryCap, s.RetryBase)
 	}
+	if s.CheckpointInterval < 0 || math.IsNaN(s.CheckpointInterval) || math.IsInf(s.CheckpointInterval, 0) {
+		return fmt.Errorf("faults: checkpoint interval %g must be non-negative and finite (0 disables checkpointing)",
+			s.CheckpointInterval)
+	}
 	return nil
+}
+
+// Checkpointed returns the progress that survives an abort of a job that
+// has accumulated the given extended-service progress: the largest
+// checkpoint multiple not exceeding it, or 0 when checkpointing is
+// disabled. The result is monotone in progress and antitone in the
+// interval — a shorter interval never loses more work on the same kill.
+func (s Spec) Checkpointed(progress float64) float64 {
+	if s.CheckpointInterval <= 0 || progress <= 0 {
+		return 0
+	}
+	return math.Floor(progress/s.CheckpointInterval) * s.CheckpointInterval
 }
 
 // Backoff returns the resubmission delay after a job's retry-th abort
@@ -115,6 +144,11 @@ type Stats struct {
 	// WorkLost is the processor-seconds of completed-then-discarded
 	// service across all kills.
 	WorkLost float64
+	// WorkSaved is the processor-seconds of progress that checkpointing
+	// preserved across kills: per kill, the work run since dispatch that
+	// survives into the resubmission. Zero without checkpointing;
+	// WorkLost + WorkSaved is the total work in flight at kill times.
+	WorkSaved float64
 }
 
 // Injector drives the failure and repair processes of one run. It owns the

@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -34,6 +35,10 @@ func TestSpecValidate(t *testing.T) {
 		{"negative MTTR", Spec{MTBF: 1000, MTTR: -1}, false},
 		{"cap below base", Spec{MTBF: 1000, MTTR: 900, RetryBase: 100, RetryCap: 10}, false},
 		{"negative base", Spec{MTBF: 1000, MTTR: 900, RetryBase: -1}, false},
+		{"checkpointing", Spec{MTBF: 1000, MTTR: 900, CheckpointInterval: 300}, true},
+		{"negative checkpoint interval", Spec{MTBF: 1000, MTTR: 900, CheckpointInterval: -1}, false},
+		{"NaN checkpoint interval", Spec{MTBF: 1000, MTTR: 900, CheckpointInterval: math.NaN()}, false},
+		{"infinite checkpoint interval", Spec{MTBF: 1000, MTTR: 900, CheckpointInterval: math.Inf(1)}, false},
 	}
 	for _, c := range cases {
 		if err := c.spec.Validate(); (err == nil) != c.ok {
@@ -56,6 +61,34 @@ func TestBackoffDoublesAndCaps(t *testing.T) {
 	// Huge retry counts must saturate at the cap, not overflow.
 	if got := s.Backoff(5000); got != 600 {
 		t.Errorf("Backoff(5000) = %g, want 600", got)
+	}
+	// Nonsensical retry counts clamp to the first-retry base.
+	if got := s.Backoff(-3); got != 10 {
+		t.Errorf("Backoff(-3) = %g, want the base", got)
+	}
+}
+
+// TestCheckpointedArithmetic pins the floor-to-multiple rule and its two
+// disabled cases (zero interval, non-positive progress).
+func TestCheckpointedArithmetic(t *testing.T) {
+	s := Spec{MTBF: 1000, MTTR: 900, CheckpointInterval: 100}
+	cases := []struct{ progress, want float64 }{
+		{0, 0},
+		{-5, 0},
+		{99.999, 0},
+		{100, 100},
+		{250, 200},
+		{300, 300},
+		{1e6 + 50, 1e6},
+	}
+	for _, c := range cases {
+		if got := s.Checkpointed(c.progress); got != c.want {
+			t.Errorf("Checkpointed(%g) = %g, want %g", c.progress, got, c.want)
+		}
+	}
+	off := Spec{MTBF: 1000, MTTR: 900}
+	if got := off.Checkpointed(500); got != 0 {
+		t.Errorf("disabled Checkpointed(500) = %g, want 0", got)
 	}
 }
 

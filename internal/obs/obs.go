@@ -58,6 +58,7 @@ type Observer struct {
 	fResubmits *Counter
 	fCapacity  *Gauge
 	fLost      *Timer
+	fSaved     *Timer
 }
 
 // New returns an Observer with a fresh metrics registry. trace, when
@@ -88,6 +89,14 @@ func New(trace io.Writer) *Observer {
 	}
 	return o
 }
+
+// Enabled reports whether an observer is attached. Every Observer method
+// is already nil-safe, so a guard is never needed for safety — use Enabled
+// when the point is to skip computing an expensive argument (a queue-depth
+// scan, a composite reporting block) while observability is off. Writing
+// the guard as o.Enabled() rather than o != nil marks that intent: the
+// call is elidable, not load-bearing.
+func (o *Observer) Enabled() bool { return o != nil }
 
 // SetClock installs the virtual-clock reader used to timestamp trace
 // records that are reported without an explicit time (queue
@@ -288,6 +297,7 @@ func (o *Observer) faultMetrics() {
 	o.fResubmits = m.Counter("faults.resubmits")
 	o.fCapacity = m.Gauge("faults.avail_capacity")
 	o.fLost = m.Timer("faults.lost_work")
+	o.fSaved = m.Timer("faults.saved_work")
 }
 
 // NodeFailed records a processor failure on a cluster; avail is the
@@ -329,16 +339,19 @@ func (o *Observer) FaultSkipped(cluster int) {
 }
 
 // JobKilled records a running job aborted by a failure on a cluster, with
-// the processor-seconds of discarded service.
-func (o *Observer) JobKilled(at float64, job int64, cluster int, lost float64) {
+// the processor-seconds of discarded service and the processor-seconds
+// this dispatch ran that checkpointing preserved (zero without
+// checkpointing).
+func (o *Observer) JobKilled(at float64, job int64, cluster int, lost, saved float64) {
 	if o == nil {
 		return
 	}
 	o.faultMetrics()
 	o.fKills.Inc()
 	o.fLost.Observe(lost)
+	o.fSaved.Observe(saved)
 	if o.trace != nil {
-		o.trace.Kill(at, job, cluster, lost)
+		o.trace.Kill(at, job, cluster, lost, saved)
 	}
 }
 

@@ -153,12 +153,14 @@ func (t *Trace) Repair(at float64, cluster, avail int) {
 }
 
 // Kill records a running job aborted by a failure, with the
-// processor-seconds of service it loses.
-func (t *Trace) Kill(at float64, job int64, cluster int, lost float64) {
+// processor-seconds of service it loses and the processor-seconds this
+// dispatch ran that checkpointing preserved.
+func (t *Trace) Kill(at float64, job int64, cluster int, lost, saved float64) {
 	t.begin(at, "kill")
 	t.fieldInt("job", job)
 	t.fieldInt("cluster", int64(cluster))
 	t.fieldFloat("lost", lost)
+	t.fieldFloat("saved", saved)
 	t.emit()
 }
 

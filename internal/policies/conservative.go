@@ -60,7 +60,7 @@ type Conservative struct {
 	running   []runInfo
 	base      *profile // incremental forecast of the running jobs' releases
 	scratch   profile  // working profile; between passes it holds the reservations
-	capVec    []int    // per-cluster total capacity, for the never-fits exit
+	availVec  []int    // per-cluster up-processor counts, for the never-fits exit
 
 	// Retained-reservation state. resvs holds one entry per reserved
 	// queued job, in FCFS order, covering a prefix of the queue; resvPlace
@@ -168,11 +168,66 @@ func (p *Conservative) JobDeparted(ctx Ctx, j *workload.Job) {
 	p.pass(ctx)
 }
 
+// JobKilled repairs the policy state after a failure on cluster c aborted
+// the victim (policies.FaultAware): the victim leaves the running set, its
+// remaining window returns to the base profile through the same early-
+// release path a preemptive departure takes, and the profile's capacity on
+// c drops by the processor the failure consumed. A kill is neither an
+// arrival nor a departure — the retained-reservation stability argument
+// does not cover it — so the elision state is invalidated wholesale and a
+// full pass re-derives every reservation against the repaired forecast.
+func (p *Conservative) JobKilled(ctx Ctx, victim *workload.Job, c int) {
+	for i := range p.running {
+		if p.running[i].job == victim {
+			r := p.running[i]
+			p.running = append(p.running[:i], p.running[i+1:]...)
+			p.releaseEarly(ctx.Now(), r)
+			p.recomputeNextFinish()
+			p.adjustCapacity(ctx, c, -1)
+			return
+		}
+	}
+	panic(fmt.Sprintf("policies: killed job %d not in the running set", victim.ID))
+}
+
+// CapacityLost folds a silent failure — one idle processor of cluster c
+// went down — into the forecast (policies.FaultAware). The shrink can
+// admit nothing (placement is monotone in the idle vector), but the stored
+// reservations were derived against the larger capacity and may now
+// overlap windows that no longer exist, so the state is re-derived.
+func (p *Conservative) CapacityLost(ctx Ctx, c int) { p.adjustCapacity(ctx, c, -1) }
+
+// CapacityRestored folds a repaired processor of cluster c back into the
+// forecast (policies.FaultAware). The full pass it forces also re-derives
+// every never-fits (+Inf) reservation, which is only valid per capacity
+// regime — see neverFits.
+func (p *Conservative) CapacityRestored(ctx Ctx, c int) { p.adjustCapacity(ctx, c, +1) }
+
+// adjustCapacity applies a one-processor capacity change on cluster c: the
+// base profile's whole horizon shifts by delta, the never-fits vector
+// follows, the retained reservations are invalidated (the staleness theory
+// covers only arrivals and departures), and a full pass rebuilds them.
+// State not yet built (before the first pass) needs no adjustment — it is
+// constructed from the multicluster's post-event capacity when first used.
+func (p *Conservative) adjustCapacity(ctx Ctx, c, delta int) {
+	if p.base != nil {
+		p.base.trim(ctx.Now())
+		p.base.shiftCapacity(c, delta)
+	}
+	if p.availVec != nil {
+		p.availVec[c] += delta
+	}
+	p.resvOK = false
+	p.repairOK = false
+	p.pass(ctx)
+}
+
 // releaseEarly returns a job's remaining reservation to the base profile
-// when it departs before its forecast finish time. The event engine fires
-// departures exactly at the forecast finish, so in simulation runs this is
-// a no-op; it keeps the incremental profile correct for any Ctx (unit
-// tests, a future preemptive variant) whose clock says otherwise.
+// when it leaves the running set before its forecast finish time. The
+// event engine fires departures exactly at the forecast finish, so for
+// ordinary departures this is a no-op; a fault kill (JobKilled) is the
+// real user — an abort releases the processors mid-window, and the
+// remaining window must come back before the capacity shift is applied.
 func (p *Conservative) releaseEarly(now float64, r runInfo) {
 	if p.base == nil || r.finish <= now {
 		return
@@ -242,24 +297,29 @@ func (p *Conservative) passProfile(m *cluster.Multicluster, now float64) *profil
 	return prof
 }
 
-// ensureCap builds the per-cluster total-capacity vector once.
+// ensureCap builds the per-cluster up-capacity vector on first use; fault
+// events keep it current through adjustCapacity. Without faults it is the
+// static cluster sizes.
 func (p *Conservative) ensureCap(m *cluster.Multicluster) {
-	if p.capVec == nil {
-		p.capVec = make([]int, m.NumClusters())
-		for c := range p.capVec {
-			p.capVec[c] = m.Size(c)
+	if p.availVec == nil {
+		p.availVec = make([]int, m.NumClusters())
+		for c := range p.availVec {
+			p.availVec[c] = m.Avail(c)
 		}
 	}
 }
 
-// neverFits reports that the components cannot fit even with every
+// neverFits reports that the components cannot fit even with every up
 // processor idle. The placement rule is monotone in the idle vector, so a
-// failure at total capacity implies failure on every profile window —
+// failure at full up capacity implies failure on every profile window —
 // exactly the queries earliestStart would answer +Inf — without scanning
-// any segments.
+// any segments. Under fault injection the vector tracks the post-failure
+// capacity, so the verdict holds only for the current capacity regime: a
+// repair raises the vector and forces a full pass (CapacityRestored), which
+// re-derives every +Inf entry against the restored capacity.
 func (p *Conservative) neverFits(m *cluster.Multicluster, comps []int, s *Scratch) bool {
 	p.ensureCap(m)
-	return !placeVectorInto(p.capVec, comps, p.fit, s.Place, s.Used)
+	return !placeVectorInto(p.availVec, comps, p.fit, s.Place, s.Used)
 }
 
 // appendResv records a reservation, copying the placement into the arena
@@ -308,7 +368,7 @@ func (p *Conservative) evalFast(ctx Ctx, m *cluster.Multicluster, prof *profile,
 		p.appendResv(j, math.Inf(1), 0, nil, nc)
 		return
 	}
-	dur := j.ExtendedServiceTime
+	dur := j.RemainingTime()
 	t, placement := prof.earliestStart(j.Components, dur, p.fit)
 	if math.IsInf(t, 1) {
 		p.appendResv(j, t, 0, nil, nc)
@@ -362,7 +422,7 @@ func (p *Conservative) fastPass(ctx Ctx) bool {
 	m := ctx.Cluster()
 	o := ctx.Obs()
 	o.Pass()
-	nc := len(p.capVec)
+	nc := len(p.availVec)
 	prof := &p.scratch
 	prof.trim(now)
 	p.base.trim(now)
@@ -516,7 +576,7 @@ func (p *Conservative) tryRepair(ctx Ctx) bool {
 			return false
 		}
 	}
-	nc := len(p.capVec)
+	nc := len(p.availVec)
 	bound := p.staleBound
 	if bound > len(p.resvs) {
 		bound = len(p.resvs)
@@ -578,7 +638,7 @@ func (p *Conservative) pass(ctx Ctx) {
 	}
 	m := ctx.Cluster()
 	p.ensureCap(m)
-	nc := len(p.capVec)
+	nc := len(p.availVec)
 	now := ctx.Now()
 	o := ctx.Obs()
 	o.Pass()
@@ -611,12 +671,13 @@ func (p *Conservative) pass(ctx Ctx) {
 			p.appendResv(j, math.Inf(1), 0, nil, nc)
 			return true
 		}
-		t, placement := prof.earliestStart(j.Components, j.ExtendedServiceTime, p.fit)
+		dur := j.RemainingTime()
+		t, placement := prof.earliestStart(j.Components, dur, p.fit)
 		if math.IsInf(t, 1) {
 			p.appendResv(j, t, 0, nil, nc)
 			return true
 		}
-		prof.reserve(j.Components, placement, t, j.ExtendedServiceTime)
+		prof.reserve(j.Components, placement, t, dur)
 		if idx == 0 && t > now {
 			o.HeadMiss(workload.GlobalQueue)
 		}
@@ -625,12 +686,12 @@ func (p *Conservative) pass(ctx Ctx) {
 				o.BackfillSuccess()
 			}
 			if p.sawFinite {
-				p.markStale(len(p.resvs), now+j.ExtendedServiceTime)
+				p.markStale(len(p.resvs), now+dur)
 			}
-			p.start(ctx, j, placement, now, j.ExtendedServiceTime)
+			p.start(ctx, j, placement, now, dur)
 			s.Started = append(s.Started, j)
 		} else {
-			p.appendResv(j, t, j.ExtendedServiceTime, placement, nc)
+			p.appendResv(j, t, dur, placement, nc)
 		}
 		return true
 	})

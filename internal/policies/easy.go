@@ -1,6 +1,7 @@
 package policies
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -39,9 +40,12 @@ type EASY struct {
 
 	// stuck is the pass-elision watermark: the head can never fit (its
 	// reservation is +Inf even with every running job released). Such a
-	// head blocks the queue forever — no release changes total capacity,
-	// and EASY backfills nothing behind an unreservable head — so every
-	// later pass is a provable no-op.
+	// head blocks the queue until capacity grows — no release or failure
+	// raises the up capacity, and EASY backfills nothing behind an
+	// unreservable head — so every later pass is a provable no-op. The one
+	// event that can unstick the head is a repair: CapacityRestored runs a
+	// full pass, which re-derives the watermark against the restored
+	// capacity (pass clears it on entry).
 	stuck bool
 }
 
@@ -89,6 +93,36 @@ func (p *EASY) JobDeparted(ctx Ctx, j *workload.Job) {
 	p.pass(ctx)
 }
 
+// JobKilled removes the aborted victim from the running set and runs a
+// full pass over the released processors (policies.FaultAware). The kill
+// shrank cluster c's capacity by one, which keeps a stuck watermark valid
+// — the head fits even less than before — but the reservation arithmetic
+// holds no state beyond the running set, so removal plus a pass is the
+// whole repair.
+func (p *EASY) JobKilled(ctx Ctx, victim *workload.Job, _ int) {
+	for i := range p.running {
+		if p.running[i].job == victim {
+			p.running = append(p.running[:i], p.running[i+1:]...)
+			p.pass(ctx)
+			return
+		}
+	}
+	panic(fmt.Sprintf("policies: killed job %d not in the running set", victim.ID))
+}
+
+// CapacityLost is a no-op (policies.FaultAware): EASY derives every
+// reservation from the live idle vector and the running set, so a silent
+// failure needs no state repair, and the shrink can admit nothing —
+// placement is monotone in the idle vector. A stuck watermark stays valid
+// for the same reason.
+func (p *EASY) CapacityLost(Ctx, int) {}
+
+// CapacityRestored runs a full pass (policies.FaultAware): the repaired
+// processor may admit the head or a backfill candidate, and — unlike every
+// other event — it raises the up capacity, so the pass re-derives the
+// stuck watermark from scratch.
+func (p *EASY) CapacityRestored(ctx Ctx, _ int) { p.pass(ctx) }
+
 // elidedPass emits the counters a full pass over a forever-stuck head
 // would: the pass, the head miss, and then the +Inf reservation returns
 // before any backfill attempt.
@@ -107,7 +141,7 @@ func (p *EASY) start(ctx Ctx, j *workload.Job, placement []int) {
 	ctx.Dispatch(j, placement)
 	r := runInfo{
 		job:       j,
-		finish:    ctx.Now() + j.ExtendedServiceTime,
+		finish:    ctx.Now() + j.RemainingTime(),
 		comps:     j.Components,
 		placement: j.Placement,
 	}
@@ -124,6 +158,12 @@ func (p *EASY) pass(ctx Ctx) {
 	o := ctx.Obs()
 	s := ctx.Scratch()
 	o.Pass()
+	// Re-derive the stuck watermark from scratch: a pass that drains the
+	// queue or reserves a finite start leaves it clear, and phase 2 sets it
+	// again when the head still can never fit. Fault-free this cannot flip
+	// a true watermark back (capacity never grows), but after a repair the
+	// stale verdict must not survive the pass.
+	p.stuck = false
 	// Phase 1: plain FCFS starts from the head.
 	for {
 		head := p.q.Head()
@@ -186,7 +226,7 @@ func (p *EASY) pass(ctx Ctx) {
 		// its processors are back before (or exactly when) the head's
 		// reserved start, so the idle vector the head sees at the shadow
 		// is unchanged and the head still fits there.
-		if ctx.Now()+j.ExtendedServiceTime <= shadow {
+		if ctx.Now()+j.RemainingTime() <= shadow {
 			p.start(ctx, j, placement)
 			o.BackfillSuccess()
 			s.Started = append(s.Started, j)

@@ -54,13 +54,18 @@ func (p *GS) Submit(ctx Ctx, j *workload.Job) {
 // JobDeparted runs a scheduling pass; freed processors may admit the head.
 func (p *GS) JobDeparted(ctx Ctx, _ *workload.Job) { p.pass(ctx) }
 
+// CapacityLost is a no-op: GS keeps no capacity forecast, and an idle
+// processor going down can never admit the head — placement is monotone in
+// the idle vector (policies.FaultAware).
+func (p *GS) CapacityLost(Ctx, int) {}
+
 // CapacityRestored runs a scheduling pass: a repaired processor may admit
 // the head, exactly like a departure (policies.FaultAware).
-func (p *GS) CapacityRestored(ctx Ctx) { p.pass(ctx) }
+func (p *GS) CapacityRestored(ctx Ctx, _ int) { p.pass(ctx) }
 
 // JobKilled runs a scheduling pass over the processors the aborted victim
 // released (policies.FaultAware).
-func (p *GS) JobKilled(ctx Ctx, _ *workload.Job) { p.pass(ctx) }
+func (p *GS) JobKilled(ctx Ctx, _ *workload.Job, _ int) { p.pass(ctx) }
 
 // pass starts jobs from the head of the queue while they fit.
 func (p *GS) pass(ctx Ctx) {

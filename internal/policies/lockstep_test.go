@@ -22,12 +22,25 @@ import (
 func TestConservativeLockstepAudit(t *testing.T) {
 	for _, lookahead := range []int{2, 4, DefaultLookahead} {
 		for seed := uint64(1); seed <= 6; seed++ {
-			lockstepAudit(t, seed, lookahead)
+			lockstepAudit(t, seed, lookahead, 0)
 		}
 	}
 }
 
-func lockstepAudit(t *testing.T, seed uint64, lookahead int) {
+// TestConservativeLockstepAuditFaults reruns the lockstep audit with the
+// three FaultAware events mixed into the stream, applied identically to
+// both policies: every fault invalidates the retained state and forces a
+// full pass, and the audit verifies the re-derived reservations whenever
+// the elided side publishes them again.
+func TestConservativeLockstepAuditFaults(t *testing.T) {
+	for _, lookahead := range []int{2, DefaultLookahead} {
+		for seed := uint64(1); seed <= 6; seed++ {
+			lockstepAudit(t, seed, lookahead, 0.12)
+		}
+	}
+}
+
+func lockstepAudit(t *testing.T, seed uint64, lookahead int, faultRate float64) {
 	t.Helper()
 	r := rng.NewStream(seed)
 	nc := 1 + r.Intn(4)
@@ -65,7 +78,7 @@ func lockstepAudit(t *testing.T, seed uint64, lookahead int) {
 			if math.IsInf(rv.t, 1) {
 				continue // never-fits: +Inf is invariant, holds no window
 			}
-			tt, place := prof.earliestStart(j.Components, j.ExtendedServiceTime, pB.fit)
+			tt, place := prof.earliestStart(j.Components, j.RemainingTime(), pB.fit)
 			if tt != rv.t {
 				t.Fatalf("seed %d lookahead %d: audit %s at t=%g: resv %d job %d stored t=%g, re-derived %g",
 					seed, lookahead, what, ctxB.now, i, j.ID, rv.t, tt)
@@ -76,7 +89,7 @@ func lockstepAudit(t *testing.T, seed uint64, lookahead int) {
 						seed, lookahead, what, ctxB.now, i, j.ID, pB.resvPlace[i*nc:i*nc+len(j.Components)], place)
 				}
 			}
-			prof.reserve(j.Components, place, tt, j.ExtendedServiceTime)
+			prof.reserve(j.Components, place, tt, rv.dur)
 		}
 	}
 
@@ -139,12 +152,85 @@ func lockstepAudit(t *testing.T, seed uint64, lookahead int) {
 		SetPassElision(prev)
 	}
 
+	// faultEvent applies one fault event identically to both policies,
+	// reporting whether an applicable one existed; the audit runs after it
+	// like after any other event. Victim choice is deterministic (highest ID
+	// on the cluster) because the mock never sets StartTime.
+	faultEvent := func(now float64) bool {
+		t.Helper()
+		c := r.Intn(nc)
+		both := func(what string, ev func(p *Conservative, ctx *mockCtx)) {
+			ctxA.now, ctxB.now = now, now
+			prev := SetPassElision(false)
+			ev(pA, ctxA)
+			SetPassElision(true)
+			ev(pB, ctxB)
+			SetPassElision(prev)
+			checkSync(what)
+		}
+		switch r.Intn(3) {
+		case 0: // silent failure
+			if ctxA.m.Idle(c) == 0 {
+				return false
+			}
+			both("silent failure", func(p *Conservative, ctx *mockCtx) {
+				ctx.m.Fail(c)
+				p.CapacityLost(ctx, c)
+			})
+		case 1: // kill a running job with a component on c
+			var victim *workload.Job
+			for j := range finish {
+				for _, pc := range j.Placement {
+					if pc == c && (victim == nil || j.ID > victim.ID) {
+						victim = j
+						break
+					}
+				}
+			}
+			if victim == nil {
+				return false
+			}
+			delete(finish, victim)
+			vB := jobsB[victim.ID]
+			both("kill", func(p *Conservative, ctx *mockCtx) {
+				v := victim
+				if p == pB {
+					v = vB
+				}
+				ctx.m.Release(v.Components, v.Placement)
+				ctx.m.Fail(c)
+				p.JobKilled(ctx, v, c)
+			})
+		case 2: // repair
+			if ctxA.m.Down(c) == 0 {
+				return false
+			}
+			both("repair", func(p *Conservative, ctx *mockCtx) {
+				ctx.m.Repair(c)
+				p.CapacityRestored(ctx, c)
+			})
+		}
+		return true
+	}
+
 	for step := 0; step < 200; step++ {
 		var dj *workload.Job
 		dt := math.Inf(1)
 		for j, f := range finish {
 			if f < dt || (f == dt && j.ID < dj.ID) {
 				dj, dt = j, f
+			}
+		}
+		if faultRate > 0 && r.Float64() < faultRate {
+			// A fault arrives strictly before the next departure fires.
+			now := ctxA.now
+			if dj != nil {
+				now += r.Float64() * (dt - now)
+			} else {
+				now += r.Float64() * 20
+			}
+			if faultEvent(now) {
+				continue
 			}
 		}
 		if dj != nil && r.Float64() < 0.10 {

@@ -91,12 +91,16 @@ func (p *LP) JobDeparted(ctx Ctx, _ *workload.Job) {
 	p.pass(ctx)
 }
 
+// CapacityLost is a no-op: LP keeps no capacity forecast, and shrinking
+// the idle pool admits nothing (policies.FaultAware).
+func (p *LP) CapacityLost(Ctx, int) {}
+
 // CapacityRestored re-enables the queues global-first, the same ordering
 // contract as a departure (policies.FaultAware).
-func (p *LP) CapacityRestored(ctx Ctx) { p.JobDeparted(ctx, nil) }
+func (p *LP) CapacityRestored(ctx Ctx, _ int) { p.JobDeparted(ctx, nil) }
 
 // JobKilled reacts to an aborted job like a departure (policies.FaultAware).
-func (p *LP) JobKilled(ctx Ctx, _ *workload.Job) { p.JobDeparted(ctx, nil) }
+func (p *LP) JobKilled(ctx Ctx, _ *workload.Job, _ int) { p.JobDeparted(ctx, nil) }
 
 // anyLocalEmpty reports whether some local queue is empty — the paper's
 // precondition for the global scheduler to run jobs.

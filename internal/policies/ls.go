@@ -88,14 +88,18 @@ func (p *LS) JobDeparted(ctx Ctx, _ *workload.Job) {
 	p.pass(ctx)
 }
 
+// CapacityLost is a no-op: LS keeps no capacity forecast, and shrinking
+// the idle pool can only keep disabled heads disabled (policies.FaultAware).
+func (p *LS) CapacityLost(Ctx, int) {}
+
 // CapacityRestored re-enables the queues under the same ordering contract
 // as a departure — a repaired processor frees capacity exactly like one —
 // and runs a pass (policies.FaultAware).
-func (p *LS) CapacityRestored(ctx Ctx) { p.JobDeparted(ctx, nil) }
+func (p *LS) CapacityRestored(ctx Ctx, _ int) { p.JobDeparted(ctx, nil) }
 
 // JobKilled reacts to an aborted job like a departure: its released
 // processors may admit disabled queue heads (policies.FaultAware).
-func (p *LS) JobKilled(ctx Ctx, _ *workload.Job) { p.JobDeparted(ctx, nil) }
+func (p *LS) JobKilled(ctx Ctx, _ *workload.Job, _ int) { p.JobDeparted(ctx, nil) }
 
 // pass repeatedly visits the enabled queues, starting at most one job per
 // queue per round, until a full round starts nothing.

@@ -81,25 +81,36 @@ type ObserverSetter interface {
 // FaultAware is implemented by policies that tolerate fault injection
 // (package faults): capacity shrinking under them, running jobs being
 // aborted, and repaired processors returning. The simulator rejects fault
-// configurations for policies without it — the backfilling policies track
-// running-job reservations and cannot have jobs yanked out from under
-// them.
+// configurations for policies without it.
 //
-// Both hooks carry JobDeparted's contract: queues disabled by head misses
-// are re-enabled under the policy's usual ordering rules (disable order
-// for LS, global-first for LP) and a scheduling pass runs. That is the
-// correct reaction in both cases — a repair frees a processor exactly like
-// a departure does, and a kill releases the victim's processors (minus the
-// one that failed).
+// All three hooks name the affected cluster, because policies that keep a
+// forecast of future idle capacity (the backfilling profile) must fold the
+// capacity change into it — a failure or repair is neither an arrival nor
+// a departure, so no other event repairs the forecast. Policies without
+// persistent capacity state use the index only for symmetry.
+//
+// CapacityRestored and JobKilled carry JobDeparted's contract: queues
+// disabled by head misses are re-enabled under the policy's usual ordering
+// rules (disable order for LS, global-first for LP) and a scheduling pass
+// runs — a repair frees a processor exactly like a departure does, and a
+// kill releases the victim's processors (minus the one that failed).
+// CapacityLost may skip the pass: an idle processor going down can never
+// admit a queued job (placement is monotone in the idle vector), so
+// FCFS-family policies no-op it and the backfilling policies only repair
+// their forecast state.
 type FaultAware interface {
-	// CapacityRestored tells the policy that a repaired processor
-	// returned to the idle pool.
-	CapacityRestored(ctx Ctx)
-	// JobKilled tells the policy that a failure aborted the victim job
-	// and its processors were released. The victim is NOT resubmitted
-	// here; it re-enters the policy through Submit when its retry
-	// backoff elapses.
-	JobKilled(ctx Ctx, victim *workload.Job)
+	// CapacityLost tells the policy that a failure took one idle
+	// processor of cluster c down without aborting anything.
+	CapacityLost(ctx Ctx, c int)
+	// CapacityRestored tells the policy that a repaired processor of
+	// cluster c returned to the idle pool.
+	CapacityRestored(ctx Ctx, c int)
+	// JobKilled tells the policy that a failure on cluster c aborted the
+	// victim job: its processors were released and the capacity of c
+	// shrank by the processor the failure consumed. The victim is NOT
+	// resubmitted here; it re-enters the policy through Submit when its
+	// retry backoff elapses.
+	JobKilled(ctx Ctx, victim *workload.Job, c int)
 }
 
 // Policy is a co-allocation scheduling policy. Implementations are not safe

@@ -145,6 +145,29 @@ func (p *profile) trim(now float64) {
 	}
 }
 
+// shiftCapacity folds a capacity change of cluster c into the forecast:
+// delta is -1 for a processor going down, +1 for a repair. A capacity flap
+// has no release time, so unlike a reservation it shifts every live
+// segment — the processor is gone (or back) for the entire horizon. The
+// breakpoints are untouched; only the level moves.
+//
+// The caller must trim the profile to the current time first, and for a
+// loss the first segment must have an idle processor on c to give up (the
+// simulator guarantees it: a failure either lands on an idle processor or
+// aborts a victim whose release was folded in before this call). Because
+// the base profile's per-cluster values are nondecreasing in time — future
+// segments only add releases — a valid first segment makes every later
+// segment valid too; the panic guards the precondition.
+func (p *profile) shiftCapacity(c, delta int) {
+	for i := 0; i < p.n; i++ {
+		s := p.seg(i)
+		s[c] += delta
+		if s[c] < 0 {
+			panic("policies: capacity shift below zero idle forecast")
+		}
+	}
+}
+
 // removeBreak deletes live segment i, extending segment i-1 over its span
 // — the cleanup for a breakpoint whose two sides became identical (an
 // early release returning exactly the capacity its forecast breakpoint

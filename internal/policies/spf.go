@@ -35,11 +35,14 @@ func NewSPF(fit cluster.Fit) *SPF { return &SPF{fit: fit} }
 // Name returns "GS-SPF".
 func (p *SPF) Name() string { return "GS-SPF" }
 
-// Submit inserts the job in service-time order and runs a pass.
+// Submit inserts the job in service-time order and runs a pass. The order
+// key is the remaining time: identical to the extended service time except
+// for checkpointed resubmissions, whose preserved progress makes them
+// genuinely shorter.
 func (p *SPF) Submit(ctx Ctx, j *workload.Job) {
 	j.Queue = workload.GlobalQueue
 	i := sort.Search(len(p.jobs), func(i int) bool {
-		return p.jobs[i].ExtendedServiceTime > j.ExtendedServiceTime
+		return p.jobs[i].RemainingTime() > j.RemainingTime()
 	})
 	p.jobs = append(p.jobs, nil)
 	copy(p.jobs[i+1:], p.jobs[i:])
@@ -57,12 +60,16 @@ func (p *SPF) Submit(ctx Ctx, j *workload.Job) {
 // JobDeparted runs a scheduling pass.
 func (p *SPF) JobDeparted(ctx Ctx, _ *workload.Job) { p.pass(ctx) }
 
+// CapacityLost is a no-op: SPF keeps no capacity forecast, and shrinking
+// the idle pool admits nothing (policies.FaultAware).
+func (p *SPF) CapacityLost(Ctx, int) {}
+
 // CapacityRestored runs a scheduling pass (policies.FaultAware).
-func (p *SPF) CapacityRestored(ctx Ctx) { p.pass(ctx) }
+func (p *SPF) CapacityRestored(ctx Ctx, _ int) { p.pass(ctx) }
 
 // JobKilled runs a scheduling pass; the resubmitted victim re-enters the
 // sorted queue through Submit after its backoff (policies.FaultAware).
-func (p *SPF) JobKilled(ctx Ctx, _ *workload.Job) { p.pass(ctx) }
+func (p *SPF) JobKilled(ctx Ctx, _ *workload.Job, _ int) { p.pass(ctx) }
 
 // pass starts the shortest jobs while they fit.
 func (p *SPF) pass(ctx Ctx) {

@@ -43,6 +43,13 @@ type Job struct {
 	// Retries counts how many times a processor failure aborted this job;
 	// it scales the resubmission backoff (see package faults).
 	Retries int
+	// Checkpointed is the extended-service progress (in seconds) preserved
+	// across failure aborts by periodic checkpointing (see
+	// faults.Spec.CheckpointInterval): always a multiple of the checkpoint
+	// interval, and zero unless checkpointing is enabled and the job has
+	// been aborted at least once past its first checkpoint. A dispatched
+	// job runs only for RemainingTime.
+	Checkpointed float64
 }
 
 // GlobalQueue marks a job queued at a policy's global queue.
@@ -50,6 +57,13 @@ const GlobalQueue = -1
 
 // Multi reports whether the job needs co-allocation (more than one component).
 func (j *Job) Multi() bool { return len(j.Components) > 1 }
+
+// RemainingTime returns the extended service time the job still has to
+// run: the full extended service minus the progress preserved by
+// checkpointing. Without checkpointing it is exactly ExtendedServiceTime
+// (x - 0 == x bitwise), which the fault-free determinism guardrails rely
+// on.
+func (j *Job) RemainingTime() float64 { return j.ExtendedServiceTime - j.Checkpointed }
 
 // ResponseTime returns finish minus arrival time.
 func (j *Job) ResponseTime() float64 { return j.FinishTime - j.ArrivalTime }
