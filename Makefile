@@ -6,6 +6,12 @@ GO ?= go
 # ride along so end-to-end regeneration time is tracked too.
 BENCHES = BenchmarkEngineEventRate|BenchmarkPolicyThroughput|BenchmarkBackfillPolicies|BenchmarkTable1|BenchmarkFig5|BenchmarkFaultPathDisabled
 
+# The sweep-layer wall-clock benchmark recorded in BENCH_4.json: a
+# saturated-heavy figure grid run once with the legacy per-curve schedule
+# and no cutoff, once with the overhauled figure schedule and the
+# saturation cutoff.
+FIGBENCH = BenchmarkFigureWallClock
+
 .PHONY: verify test bench bench-smoke bench-baseline bench-record cpuprofile lint fmt-check
 
 # verify is the tier-1 gate: formatting, vet, build, the detlint
@@ -55,16 +61,27 @@ bench:
 # accidentally reverted. The time gate is deliberately loose
 # (single-shot wall clock is noisy); re-record the snapshot when moving
 # to slower hardware.
+#
+# The second guard run covers the sweep layer: both arms of the figure
+# wall-clock benchmark are gated against BENCH_4.json, and the
+# machine-independent speedup gate fails the run if the overhauled arm
+# (figure schedule + saturation cutoff) drops below 3x the legacy arm —
+# the record the sweep overhaul claims.
 bench-smoke:
 	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchtime 1x -count 3 -benchmem . | $(GO) run ./scripts/benchguard -record BENCH_3.json -key smoke -max-time-regress 0.35
+	$(GO) test -run '^$$' -bench '$(FIGBENCH)' -benchtime 1x -count 3 -benchmem . | $(GO) run ./scripts/benchguard -record BENCH_4.json -key smoke -match '^BenchmarkFigureWallClock/' -max-time-regress 0.35 -speedup-base BenchmarkFigureWallClock/legacy -speedup-test BenchmarkFigureWallClock/overhauled -min-speedup 3
 
 # bench-record re-measures the hot paths into BENCH_3.json: the amortized
 # numbers under "after" (the profile-overhaul record README cites) and
 # a single-shot run under "smoke", the reference bench-smoke guards
-# against. Re-run it whenever an intentional change moves the needle.
+# against. The figure wall-clock benchmark is recorded the same way into
+# BENCH_4.json (the sweep-overhaul record README cites). Re-run it
+# whenever an intentional change moves the needle.
 bench-record:
 	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem . | $(GO) run ./scripts/benchjson -key after -o BENCH_3.json
 	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchtime 1x -benchmem . | $(GO) run ./scripts/benchjson -key smoke -o BENCH_3.json
+	$(GO) test -run '^$$' -bench '$(FIGBENCH)' -benchmem . | $(GO) run ./scripts/benchjson -key after -o BENCH_4.json
+	$(GO) test -run '^$$' -bench '$(FIGBENCH)' -benchtime 1x -benchmem . | $(GO) run ./scripts/benchjson -key smoke -o BENCH_4.json
 
 # cpuprofile captures a pprof CPU profile of the backfilling macro
 # benchmark for hot-path work:

@@ -61,6 +61,59 @@ func BenchmarkFig7(b *testing.B)   { benchExperiment(b, "fig7") }
 // BenchmarkGrossNetRatio regenerates the Section 4 analytic ratios.
 func BenchmarkGrossNetRatio(b *testing.B) { benchExperiment(b, "ratio") }
 
+// BenchmarkFigureWallClock measures the end-to-end wall clock of a
+// saturated-heavy figure sweep — several policy curves whose grids reach
+// deep into saturation, replications per point — under the two sweep
+// regimes:
+//
+//   - legacy: per-curve scheduling barriers and full-horizon saturated
+//     points (the pre-overhaul behavior);
+//   - overhauled: the figure-level straggler-free schedule with the
+//     deterministic saturation cutoff (the defaults).
+//
+// The rendered curves are identical between the two (pinned by the
+// schedule/cutoff guardrail tests); only the wall clock differs. This is
+// the benchmark behind the sweep-overhaul record in BENCH_4.json.
+func BenchmarkFigureWallClock(b *testing.B) {
+	run := func(cutoff bool, mode experiments.ScheduleMode) func(*testing.B) {
+		return func(b *testing.B) {
+			p := experiments.QuickParams()
+			p.WarmupJobs = 100
+			p.MeasureJobs = 20000
+			p.Replications = 2
+			// The grid is the deep tail of the paper's sweep. The curves
+			// below are GS across the component-size limits 16/24/32
+			// (the paper's usual figure parameterization); GS tops out
+			// near 0.62 gross for all of them, so every point here is far
+			// beyond saturation. These are the points that dominate a
+			// full figure's wall clock: the runs the cutoff truncates and
+			// the stragglers the figure-level schedule stops serializing
+			// behind.
+			p.Utilizations = []float64{0.9, 0.95}
+			p.SaturationCutoff = cutoff
+			p.Schedule = mode
+			env := experiments.NewEnv(p)
+			specs := []experiments.CurveSpec{
+				{Label: "GS-16", Policy: "GS", ClusterSizes: experiments.MulticlusterSizes, Spec: env.MultiSpec(16, env.Derived.Sizes128)},
+				{Label: "GS-24", Policy: "GS", ClusterSizes: experiments.MulticlusterSizes, Spec: env.MultiSpec(24, env.Derived.Sizes128)},
+				{Label: "GS-32", Policy: "GS", ClusterSizes: experiments.MulticlusterSizes, Spec: env.MultiSpec(32, env.Derived.Sizes128)},
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sets, err := env.CurveSet(specs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(sets) != len(specs) {
+					b.Fatalf("%d curves for %d specs", len(sets), len(specs))
+				}
+			}
+		}
+	}
+	b.Run("legacy", run(false, experiments.SchedulePerCurve))
+	b.Run("overhauled", run(true, experiments.ScheduleFigure))
+}
+
 // --- ablations -------------------------------------------------------------
 
 // BenchmarkPlacementRules compares Worst Fit (the paper's rule) with First

@@ -24,7 +24,10 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "use reduced run lengths (tests, smoke checks)")
 	seed := flag.Uint64("seed", 1, "master random seed")
-	reps := flag.Int("reps", 0, "replications per point (0 = preset default)")
+	reps := flag.Int("reps", 0, "replications per point (0 = preset default); with -precision this is the minimum replication count")
+	precision := flag.Float64("precision", 0, "run replications per point until the 95% half-width of the mean response falls below this relative precision, e.g. 0.05 (0 = fixed replication count)")
+	maxReps := flag.Int("max-reps", 0, "replication cap for -precision (0 = default 20)")
+	satCutoff := flag.Bool("saturation-cutoff", true, "stop saturated sweep points at the first provable divergence checkpoint instead of the full horizon (non-saturated points are bit-identical either way)")
 	measure := flag.Int("jobs", 0, "measured jobs per run (0 = preset default)")
 	dataDir := flag.String("data", "", "directory for CSV output (optional)")
 	progress := flag.Bool("progress", false, "print one line per completed sweep point (stderr)")
@@ -99,6 +102,21 @@ func main() {
 		os.Exit(2)
 	}
 	params.Lookahead = *lookahead
+	if *precision < 0 || *precision != *precision {
+		fmt.Fprintf(os.Stderr, "mcexp: -precision %g must be non-negative\n", *precision)
+		os.Exit(2)
+	}
+	if *maxReps < 0 {
+		fmt.Fprintf(os.Stderr, "mcexp: -max-reps %d must be non-negative\n", *maxReps)
+		os.Exit(2)
+	}
+	if *maxReps > 0 && *precision == 0 {
+		fmt.Fprintf(os.Stderr, "mcexp: -max-reps only applies with -precision\n")
+		os.Exit(2)
+	}
+	params.Precision = *precision
+	params.MaxReplications = *maxReps
+	params.SaturationCutoff = *satCutoff
 	if *pprofAddr != "" {
 		if err := obs.StartPprof(*pprofAddr); err != nil {
 			fmt.Fprintf(os.Stderr, "mcexp: %v\n", err)

@@ -44,6 +44,7 @@ func main() {
 	retryBase := flag.Float64("retry-base", 10, "base resubmit backoff for killed jobs in s")
 	retryCap := flag.Float64("retry-cap", 600, "resubmit backoff cap in s")
 	ckptInterval := flag.Float64("checkpoint-interval", 0, "checkpoint interval for killed jobs in s (0 = no checkpointing; requires -mtbf)")
+	satCutoff := flag.Bool("saturation-cutoff", false, "stop a saturated run at the first provable divergence checkpoint instead of the full horizon (non-saturated runs are unaffected)")
 	metrics := flag.Bool("metrics", false, "print a metrics summary block after the results")
 	tracePath := flag.String("trace", "", "write a JSONL event trace to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -151,6 +152,8 @@ func main() {
 		MeasureJobs:  *jobs,
 		Seed:         *seed,
 		Lookahead:    *lookahead,
+
+		SaturationCutoff: *satCutoff,
 	}
 	if *mtbf > 0 {
 		cfg.Faults = &faults.Spec{
@@ -208,6 +211,9 @@ func main() {
 	fmt.Printf("jobs measured       %d\n", res.Jobs)
 	fmt.Printf("queue at end        %d\n", res.FinalQueue)
 	fmt.Printf("saturated           %v\n", res.Saturated)
+	if res.TruncatedJobs > 0 {
+		fmt.Printf("jobs truncated      %d (divergence cutoff stopped the run early)\n", res.TruncatedJobs)
+	}
 	if *mtbf > 0 {
 		fmt.Printf("failures injected   %d (skipped %d, repairs %d)\n",
 			res.FailuresInjected, res.FailuresSkipped, res.Repairs)

@@ -73,6 +73,16 @@ type Config struct {
 	// replicated run shares workloads: return nil to fall back to live
 	// sampling for that seed.
 	TraceProvider func(seed uint64) *Trace
+	// SaturationCutoff enables the early divergence monitor: the run
+	// samples its backlog growth at fixed completed-job checkpoints and
+	// halts as soon as the growth provably exceeds the end-of-run
+	// saturation heuristic (see run.go). A run the monitor stops is
+	// marked Saturated with TruncatedJobs > 0; a run the monitor never
+	// stops is bit-identical to one with the monitor off — the
+	// checkpoints only read state, they never draw from a stream or
+	// schedule an event. Off by default: sweeps that use saturated
+	// points purely as curve terminators opt in.
+	SaturationCutoff bool
 	// Faults, when non-nil with a positive MTBF, injects per-cluster
 	// processor failure/repair processes into the run (see package
 	// faults). The fault draws come from their own named streams, so a
@@ -279,6 +289,12 @@ type Result struct {
 	// Saturated reports the heuristic that the system could not keep up
 	// with the offered load (the queue kept growing).
 	Saturated bool
+	// TruncatedJobs is the number of measured departures the saturation
+	// cutoff skipped: MeasureJobs minus Jobs for a run the divergence
+	// monitor halted early. Zero when Config.SaturationCutoff is off or
+	// the monitor never fired; merged replications sum it. TruncatedJobs
+	// > 0 implies Saturated.
+	TruncatedJobs int
 	// SimTime is the virtual length of the measurement window in seconds.
 	SimTime float64
 	// ResponseBySizeClass breaks the mean response time down by total

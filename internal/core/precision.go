@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"coalloc/internal/stats"
+	"coalloc/internal/workpool"
 )
 
 // PrecisionConfig wraps a Config with a sequential stopping rule: run
@@ -36,7 +37,9 @@ func (c *PrecisionConfig) applyDefaults() {
 // PrecisionResult extends the merged Result with the stopping diagnosis.
 type PrecisionResult struct {
 	Result
-	// Replications is the number of replications actually run.
+	// Replications is the number of replications actually run — i.e. the
+	// number the stopping rule consumed; speculative replications beyond
+	// the stopping point are discarded and not counted.
 	Replications int
 	// AchievedRelative is the final relative half-width.
 	AchievedRelative float64
@@ -48,6 +51,22 @@ type PrecisionResult struct {
 }
 
 // RunUntilPrecision runs replications until the confidence target is met.
+//
+// Replications execute speculatively in batches on the shared worker pool:
+// the first MinReplications (which the stopping rule must consume no
+// matter what) launch together, and each further batch spans the pool's
+// width. The stopping decision itself consumes results strictly in seed
+// order, evaluating the same Welford recurrence and half-width formula the
+// serial loop would, so both the replication count at which it stops and
+// the merged PrecisionResult are bit-identical to running the sequential
+// procedure one replication at a time — speculation only ever runs
+// replications the serial loop might not have needed, and those are
+// discarded unread. With an Observer attached (single-threaded by
+// contract) the batches degenerate to one replication at a time, serially,
+// so no speculative run ever pollutes the trace.
+//
+// The merged Result carries every Result field, folded across the consumed
+// replications exactly as RunReplications does.
 func RunUntilPrecision(cfg PrecisionConfig) (PrecisionResult, error) {
 	if cfg.MinReplications == 1 {
 		// Checked before the defaults fill in: the generic bounds error
@@ -65,26 +84,53 @@ func RunUntilPrecision(cfg PrecisionConfig) (PrecisionResult, error) {
 			cfg.MinReplications, cfg.MaxReplications)
 	}
 
-	var resp, gross, net, slow stats.Welford
-	var merged PrecisionResult
-	saturated := false
-	jobs := 0
-	for n := 1; n <= cfg.MaxReplications; n++ {
-		c := cfg.Run
-		c.Seed = cfg.Run.Seed + uint64(n-1)*1000003
-		res, err := Run(c)
-		if err != nil {
-			return PrecisionResult{}, err
+	results := make([]Result, cfg.MaxReplications)
+	errs := make([]error, cfg.MaxReplications)
+	ran := 0 // replications launched (and completed) so far
+	serial := cfg.Run.Observer != nil
+	batch := workpool.Size()
+	if serial || batch < 1 {
+		batch = 1
+	}
+	// ensure runs replications [ran, n) — concurrently on the pool unless
+	// an Observer forces the serial path — and waits for them.
+	ensure := func(n int) {
+		if n > cfg.MaxReplications {
+			n = cfg.MaxReplications
 		}
-		resp.Add(res.MeanResponse)
-		gross.Add(res.GrossUtilization)
-		net.Add(res.NetUtilization)
-		slow.Add(res.MeanSlowdown)
-		jobs += res.Jobs
-		saturated = saturated || res.Saturated
-		merged.Policy = res.Policy
-		merged.OfferedGross = res.OfferedGross
+		if n <= ran {
+			return
+		}
+		lo := ran
+		runOne := func(k int) {
+			i := lo + k
+			c := cfg.Run
+			c.Seed = cfg.Run.Seed + uint64(i)*1000003
+			results[i], errs[i] = Run(c)
+		}
+		if serial {
+			for k := 0; k < n-lo; k++ {
+				runOne(k)
+			}
+		} else {
+			workpool.Do(n-lo, runOne)
+		}
+		ran = n
+	}
 
+	// The stopping rule consumes no result before MinReplications, so
+	// those are not speculative — launch them as one batch.
+	ensure(cfg.MinReplications)
+
+	var resp stats.Welford
+	for n := 1; n <= cfg.MaxReplications; n++ {
+		if n > ran {
+			ensure(ran + batch)
+		}
+		if errs[n-1] != nil {
+			return PrecisionResult{}, errs[n-1]
+		}
+		resp.Add(results[n-1].MeanResponse)
 		if n < cfg.MinReplications {
 			continue
 		}
@@ -94,16 +140,16 @@ func RunUntilPrecision(cfg PrecisionConfig) (PrecisionResult, error) {
 			rel = hw / math.Abs(resp.Mean())
 		}
 		if rel <= cfg.RelativePrecision || n == cfg.MaxReplications {
-			merged.MeanResponse = resp.Mean()
-			merged.RespHalfWidth = hw
-			merged.GrossUtilization = gross.Mean()
-			merged.NetUtilization = net.Mean()
-			merged.MeanSlowdown = slow.Mean()
-			merged.Jobs = jobs
-			merged.Saturated = saturated
-			merged.Replications = n
-			merged.AchievedRelative = rel
-			merged.Converged = rel <= cfg.RelativePrecision
+			// mergeReplications computes the across-replication mean and
+			// half-width with the same recurrence and formula as the
+			// decision loop above, so the merged MeanResponse and
+			// RespHalfWidth are bitwise the values the rule stopped on.
+			merged := PrecisionResult{
+				Result:           mergeReplications(results[:n]),
+				Replications:     n,
+				AchievedRelative: rel,
+				Converged:        rel <= cfg.RelativePrecision,
+			}
 			return merged, nil
 		}
 	}

@@ -23,37 +23,37 @@ func ReqTypes(e *Env) (string, error) {
 	var b strings.Builder
 	b.WriteString("Ablation — request structure (GS policy, limit 16, DAS-s-128)\n\n")
 	spec := e.MultiSpec(16, e.Derived.Sizes128)
-	var panel []plot.Series
+	// The three typed sweeps and the single-cluster reference curve form
+	// one scheduling unit.
+	var jobs []curveJob
 	for _, rt := range []workload.RequestType{workload.Unordered, workload.Ordered, workload.Flexible} {
 		rt := rt
-		results, err := e.sweep(rt.String(), e.Utilizations, func(u float64) (core.Result, error) {
-			return e.pointTyped(CurveSpec{
-				Policy:       "GS",
-				ClusterSizes: MulticlusterSizes,
-				Spec:         spec,
-			}, rt, u)
+		jobs = append(jobs, curveJob{
+			label: rt.String(),
+			grid:  e.Utilizations,
+			fn: func(u float64) (core.Result, error) {
+				return e.pointTyped(CurveSpec{
+					Policy:       "GS",
+					ClusterSizes: MulticlusterSizes,
+					Spec:         spec,
+				}, rt, u)
+			},
 		})
-		if err != nil {
-			return "", err
-		}
-		s := plot.Series{Name: rt.String()}
-		for _, res := range results {
-			s.Add(res.GrossUtilization, res.MeanResponse)
-			if res.Saturated || res.MeanResponse > e.ResponseCap {
-				break
-			}
-		}
-		panel = append(panel, s)
 	}
 	// Total requests on the reference cluster for context.
-	scSpec := e.SCSpec(e.Derived.Sizes128)
-	scCurve, err := e.Curve(CurveSpec{
-		Label: "total (SC)", Policy: "SC", ClusterSizes: SingleClusterSizes, Spec: scSpec,
-	})
+	scCS := CurveSpec{
+		Label: "total (SC)", Policy: "SC", ClusterSizes: SingleClusterSizes,
+		Spec: e.SCSpec(e.Derived.Sizes128),
+	}
+	jobs = append(jobs, e.curveJobs([]CurveSpec{scCS})...)
+	sets, err := e.sweepSet(jobs)
 	if err != nil {
 		return "", err
 	}
-	panel = append(panel, scCurve)
+	var panel []plot.Series
+	for ji, job := range jobs {
+		panel = append(panel, e.series(job.label, sets[ji]))
+	}
 	b.WriteString(plot.Chart("", "gross utilization", "mean response time (s)", panel, 64, 16))
 	b.WriteString(rankSummary(panel))
 	b.WriteString("\n(expected: flexible requests fit best, ordered requests worst —\nplacement freedom is worth real utilization.)\n")
@@ -70,19 +70,20 @@ func (e *Env) pointTyped(cs CurveSpec, rt workload.RequestType, util float64) (c
 		capacity += s
 	}
 	cfg := core.Config{
-		ClusterSizes: cs.ClusterSizes,
-		Spec:         cs.Spec,
-		Policy:       cs.Policy,
-		Fit:          cs.Fit,
-		RequestType:  rt,
-		ArrivalRate:  cs.Spec.ArrivalRateForGrossUtilization(util, capacity),
-		QueueWeights: cs.QueueWeights,
-		WarmupJobs:   e.WarmupJobs,
-		MeasureJobs:  e.MeasureJobs,
-		Seed:         e.Seed,
-		Observer:     e.Observer,
+		ClusterSizes:     cs.ClusterSizes,
+		Spec:             cs.Spec,
+		Policy:           cs.Policy,
+		Fit:              cs.Fit,
+		RequestType:      rt,
+		ArrivalRate:      cs.Spec.ArrivalRateForGrossUtilization(util, capacity),
+		QueueWeights:     cs.QueueWeights,
+		WarmupJobs:       e.WarmupJobs,
+		MeasureJobs:      e.MeasureJobs,
+		Seed:             e.Seed,
+		Observer:         e.Observer,
+		SaturationCutoff: e.SaturationCutoff,
 	}
-	return core.RunReplications(cfg, e.Replications)
+	return e.runPoint(cfg)
 }
 
 // FitRules compares Worst Fit (the paper's rule) with First Fit and Best
@@ -91,20 +92,19 @@ func FitRules(e *Env) (string, error) {
 	var b strings.Builder
 	b.WriteString("Ablation — placement rule (GS policy, limit 16, DAS-s-128)\n\n")
 	spec := e.MultiSpec(16, e.Derived.Sizes128)
-	var panel []plot.Series
+	var specs []CurveSpec
 	for _, fit := range []cluster.Fit{cluster.WorstFit, cluster.FirstFit, cluster.BestFit} {
-		cs := CurveSpec{
+		specs = append(specs, CurveSpec{
 			Label:        fit.String(),
 			Policy:       "GS",
 			ClusterSizes: MulticlusterSizes,
 			Spec:         spec,
 			Fit:          fit,
-		}
-		s, err := e.Curve(cs)
-		if err != nil {
-			return "", err
-		}
-		panel = append(panel, s)
+		})
+	}
+	panel, err := e.Curves(specs)
+	if err != nil {
+		return "", err
 	}
 	b.WriteString(plot.Chart("", "gross utilization", "mean response time (s)", panel, 64, 16))
 	b.WriteString(rankSummary(panel))
@@ -179,13 +179,9 @@ func Backfill(e *Env) (string, error) {
 		{Label: "SC", Policy: "SC", ClusterSizes: SingleClusterSizes, Spec: scSpec},
 		{Label: "SC-EASY", Policy: "SC-EASY", ClusterSizes: SingleClusterSizes, Spec: scSpec},
 	}
-	var panel []plot.Series
-	for _, cs := range curves {
-		s, err := e.Curve(cs)
-		if err != nil {
-			return "", err
-		}
-		panel = append(panel, s)
+	panel, err := e.Curves(curves)
+	if err != nil {
+		return "", err
 	}
 	b.WriteString(plot.Chart("", "gross utilization", "mean response time (s)", panel, 64, 16))
 	b.WriteString(rankSummary(panel))
@@ -235,23 +231,22 @@ func Discipline(e *Env) (string, error) {
 	var b strings.Builder
 	b.WriteString("Ablation — queue discipline (GS, limit 16, DAS-s-128)\n\n")
 	spec := e.MultiSpec(16, e.Derived.Sizes128)
-	var panel []plot.Series
+	var specs []CurveSpec
 	for _, p := range []struct{ label, policy string }{
 		{"FCFS", "GS"},
 		{"SPF", "GS-SPF"},
 		{"EASY", "GS-EASY"},
 	} {
-		cs := CurveSpec{
+		specs = append(specs, CurveSpec{
 			Label:        p.label,
 			Policy:       p.policy,
 			ClusterSizes: MulticlusterSizes,
 			Spec:         spec,
-		}
-		s, err := e.Curve(cs)
-		if err != nil {
-			return "", err
-		}
-		panel = append(panel, s)
+		})
+	}
+	panel, err := e.Curves(specs)
+	if err != nil {
+		return "", err
 	}
 	b.WriteString(plot.Chart("", "gross utilization", "mean response time (s)", panel, 64, 16))
 	b.WriteString(rankSummary(panel))
@@ -270,23 +265,22 @@ func Reenable(e *Env) (string, error) {
 	b.WriteString("Ablation — LS queue re-enable order (limit 16, unbalanced queues)\n\n")
 	spec := e.MultiSpec(16, e.Derived.Sizes128)
 	weights := core.Unbalanced(len(MulticlusterSizes))
-	var panel []plot.Series
+	var specs []CurveSpec
 	for _, p := range []struct{ label, policy string }{
 		{"disable order (paper)", "LS"},
 		{"fixed order", "LS-sorted"},
 	} {
-		cs := CurveSpec{
+		specs = append(specs, CurveSpec{
 			Label:        p.label,
 			Policy:       p.policy,
 			ClusterSizes: MulticlusterSizes,
 			Spec:         spec,
 			QueueWeights: weights,
-		}
-		s, err := e.Curve(cs)
-		if err != nil {
-			return "", err
-		}
-		panel = append(panel, s)
+		})
+	}
+	panel, err := e.Curves(specs)
+	if err != nil {
+		return "", err
 	}
 	b.WriteString(plot.Chart("", "gross utilization", "mean response time (s)", panel, 64, 14))
 	b.WriteString(rankSummary(panel))

@@ -49,22 +49,32 @@ func Checkpoint(e *Env) (string, error) {
 		util, mtbf, mttr, MulticlusterSizes)
 	fmt.Fprintf(&b, "%-7s %11s %7s %13s %14s %11s %9s\n",
 		"policy", "interval(s)", "kills", "lost(proc-s)", "saved(proc-s)", "lost/kill", "resp(s)")
-	var panel []plot.Series
-	for _, pol := range []string{"GS-EASY", "GS-CONS"} {
+	policies := []string{"GS-EASY", "GS-CONS"}
+	jobs := make([]curveJob, len(policies))
+	for pi, pol := range policies {
 		cs := CurveSpec{Label: pol, Policy: pol, ClusterSizes: MulticlusterSizes, Spec: spec}
-		results, err := e.sweep(pol+" checkpoint", checkpointIntervalGrid, func(interval float64) (core.Result, error) {
-			fs := &faults.Spec{
-				MTBF:               mtbf,
-				MTTR:               mttr,
-				RetryBase:          e.FaultRetryBase,
-				RetryCap:           e.FaultRetryCap,
-				CheckpointInterval: interval,
-			}
-			return e.FaultPoint(cs, util, fs)
-		})
-		if err != nil {
-			return "", err
+		jobs[pi] = curveJob{
+			label: pol + " checkpoint",
+			grid:  checkpointIntervalGrid,
+			fn: func(interval float64) (core.Result, error) {
+				fs := &faults.Spec{
+					MTBF:               mtbf,
+					MTTR:               mttr,
+					RetryBase:          e.FaultRetryBase,
+					RetryCap:           e.FaultRetryCap,
+					CheckpointInterval: interval,
+				}
+				return e.FaultPoint(cs, util, fs)
+			},
 		}
+	}
+	sets, err := e.sweepSet(jobs)
+	if err != nil {
+		return "", err
+	}
+	var panel []plot.Series
+	for pi, pol := range policies {
+		results := sets[pi]
 		s := plot.Series{Name: pol}
 		for i, res := range results {
 			interval := checkpointIntervalGrid[i]

@@ -56,25 +56,35 @@ func Degradation(e *Env) (string, error) {
 	fmt.Fprintf(&b, "(offered gross utilization %.2f, MTTR %.0f s, per-cluster Poisson failures,\nmulticluster %v, limit 16, DAS-s-64)\n\n", util, mttr, MulticlusterSizes)
 	fmt.Fprintf(&b, "%-7s %8s %11s %9s %7s %10s %13s %7s\n",
 		"policy", "MTBF(s)", "fail/hr/cl", "resp(s)", "kills", "resubmits", "lost(proc-s)", "avail")
-	var panel []plot.Series
-	for _, pol := range []string{"GS", "LS", "LP", "GS-EASY", "GS-CONS"} {
+	policies := []string{"GS", "LS", "LP", "GS-EASY", "GS-CONS"}
+	jobs := make([]curveJob, len(policies))
+	for pi, pol := range policies {
 		cs := CurveSpec{Label: pol, Policy: pol, ClusterSizes: MulticlusterSizes, Spec: spec}
-		results, err := e.sweep(pol+" degradation", faultMTBFGrid, func(mtbf float64) (core.Result, error) {
-			var fs *faults.Spec
-			if mtbf > 0 {
-				fs = &faults.Spec{
-					MTBF:               mtbf,
-					MTTR:               mttr,
-					RetryBase:          e.FaultRetryBase,
-					RetryCap:           e.FaultRetryCap,
-					CheckpointInterval: e.FaultCheckpointInterval,
+		jobs[pi] = curveJob{
+			label: pol + " degradation",
+			grid:  faultMTBFGrid,
+			fn: func(mtbf float64) (core.Result, error) {
+				var fs *faults.Spec
+				if mtbf > 0 {
+					fs = &faults.Spec{
+						MTBF:               mtbf,
+						MTTR:               mttr,
+						RetryBase:          e.FaultRetryBase,
+						RetryCap:           e.FaultRetryCap,
+						CheckpointInterval: e.FaultCheckpointInterval,
+					}
 				}
-			}
-			return e.FaultPoint(cs, util, fs)
-		})
-		if err != nil {
-			return "", err
+				return e.FaultPoint(cs, util, fs)
+			},
 		}
+	}
+	sets, err := e.sweepSet(jobs)
+	if err != nil {
+		return "", err
+	}
+	var panel []plot.Series
+	for pi, pol := range policies {
+		results := sets[pi]
 		s := plot.Series{Name: pol}
 		for i, res := range results {
 			mtbf := faultMTBFGrid[i]

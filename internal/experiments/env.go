@@ -37,6 +37,30 @@ type Params struct {
 	WarmupJobs, MeasureJobs int
 	// Replications per point; the reported value is the mean.
 	Replications int
+	// Precision, when positive, replaces the fixed replication count
+	// with the sequential stopping rule of core.RunUntilPrecision: each
+	// point runs replications until the 95% half-width of the mean
+	// response time drops below this relative precision (e.g. 0.05 for
+	// +-5%). Replications then sets the minimum replication count (when
+	// >= 2) and MaxReplications the cap.
+	Precision float64
+	// MaxReplications bounds the sequential procedure when Precision is
+	// set (0 = the core default, 20).
+	MaxReplications int
+	// SaturationCutoff enables the early divergence monitor of
+	// core.Config.SaturationCutoff for every sweep run: saturated points
+	// stop as soon as their backlog growth provably exceeds the
+	// saturation heuristic instead of running the full horizon. The
+	// experiments use saturated points only as curve terminators, so the
+	// figures keep their shape while their most expensive points get
+	// cheaper; non-saturated points are bit-identical either way. Both
+	// parameter presets enable it.
+	SaturationCutoff bool
+	// Schedule selects how sweep points are laid out on the worker pool
+	// (see ScheduleMode); the zero value is the straggler-free
+	// figure-level schedule. The rendered output is byte-identical
+	// across modes.
+	Schedule ScheduleMode
 	// Utilizations is the gross-utilization sweep grid for the
 	// response-time curves.
 	Utilizations []float64
@@ -90,28 +114,30 @@ type Params struct {
 // DefaultParams returns publication-fidelity settings.
 func DefaultParams() Params {
 	return Params{
-		Seed:           1,
-		WarmupJobs:     3000,
-		MeasureJobs:    30000,
-		Replications:   3,
-		Utilizations:   grid(0.10, 0.95, 0.05),
-		ResponseCap:    10000,
-		BacklogWarmup:  100_000,
-		BacklogMeasure: 1_000_000,
+		Seed:             1,
+		WarmupJobs:       3000,
+		MeasureJobs:      30000,
+		Replications:     3,
+		Utilizations:     grid(0.10, 0.95, 0.05),
+		ResponseCap:      10000,
+		BacklogWarmup:    100_000,
+		BacklogMeasure:   1_000_000,
+		SaturationCutoff: true,
 	}
 }
 
 // QuickParams returns reduced settings for tests and benchmarks.
 func QuickParams() Params {
 	return Params{
-		Seed:           1,
-		WarmupJobs:     300,
-		MeasureJobs:    3000,
-		Replications:   1,
-		Utilizations:   grid(0.15, 0.85, 0.10),
-		ResponseCap:    10000,
-		BacklogWarmup:  20_000,
-		BacklogMeasure: 100_000,
+		Seed:             1,
+		WarmupJobs:       300,
+		MeasureJobs:      3000,
+		Replications:     1,
+		Utilizations:     grid(0.15, 0.85, 0.10),
+		ResponseCap:      10000,
+		BacklogWarmup:    20_000,
+		BacklogMeasure:   100_000,
+		SaturationCutoff: true,
 	}
 }
 
@@ -173,26 +199,76 @@ type CurveSpec struct {
 	Fit          cluster.Fit
 }
 
-// Curve sweeps the utilization grid for one configuration and returns the
-// measured (gross utilization, mean response time) series. The points run
-// concurrently (see parallel.go); the curve still ends at the first
-// saturated point or once the response cap is exceeded, as in the paper's
-// plots.
-func (e *Env) Curve(cs CurveSpec) (plot.Series, error) {
-	results, err := e.sweep(cs.Label, e.Utilizations, func(u float64) (core.Result, error) {
-		return e.point(cs, u)
-	})
-	if err != nil {
-		return plot.Series{Name: cs.Label}, err
+// curveJobs builds the sweep jobs of a set of curve specs over the
+// utilization grid.
+func (e *Env) curveJobs(specs []CurveSpec) []curveJob {
+	jobs := make([]curveJob, len(specs))
+	for i := range specs {
+		cs := specs[i]
+		jobs[i] = curveJob{
+			label: cs.Label,
+			grid:  e.Utilizations,
+			fn: func(u float64) (core.Result, error) {
+				return e.point(cs, u)
+			},
+		}
 	}
-	s := plot.Series{Name: cs.Label}
+	return jobs
+}
+
+// CurveSet sweeps the utilization grid for several configurations as one
+// scheduling unit (see ScheduleMode) and returns each curve's raw results
+// in grid order, ending at the curve's first saturated point.
+func (e *Env) CurveSet(specs []CurveSpec) ([][]core.Result, error) {
+	return e.sweepSet(e.curveJobs(specs))
+}
+
+// Curves is CurveSet rendered into the measured (gross utilization, mean
+// response time) series of each curve. Batching a figure's curves into
+// one call lets the scheduler interleave their points; the series are
+// identical to sweeping each curve alone.
+func (e *Env) Curves(specs []CurveSpec) ([]plot.Series, error) {
+	sets, err := e.CurveSet(specs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]plot.Series, len(specs))
+	for i := range specs {
+		out[i] = e.series(specs[i].Label, sets[i])
+	}
+	return out, nil
+}
+
+// series renders one curve's results, ending at the first saturated point
+// or once the response cap is exceeded, as in the paper's plots.
+func (e *Env) series(name string, results []core.Result) plot.Series {
+	s := plot.Series{Name: name}
 	for _, res := range results {
 		s.Add(res.GrossUtilization, res.MeanResponse)
-		if res.Saturated || res.MeanResponse > e.ResponseCap {
+		if res.Saturated {
+			// The terminator's measured values are horizon-dependent
+			// (doubly so under the saturation cutoff); flag it so
+			// summaries exclude it from stable-point ranks.
+			s.Saturated = true
+			break
+		}
+		if res.MeanResponse > e.ResponseCap {
 			break
 		}
 	}
-	return s, nil
+	return s
+}
+
+// Curve sweeps the utilization grid for one configuration and returns the
+// measured (gross utilization, mean response time) series. The points run
+// concurrently (see parallel.go); the curve still ends at the first
+// saturated point or once the response cap is exceeded.
+func (e *Env) Curve(cs CurveSpec) (plot.Series, error) {
+	out, err := e.Curves([]CurveSpec{cs})
+	if err != nil {
+		return plot.Series{Name: cs.Label}, err
+	}
+	return out[0], nil
 }
 
 // CurveNet is like Curve but returns two series over the same runs: the
@@ -207,14 +283,28 @@ func (e *Env) CurveNet(cs CurveSpec) (gross, net plot.Series, err error) {
 	if err != nil {
 		return gross, net, err
 	}
+	gross, net = e.netSeries(cs.Label, results)
+	return gross, net, nil
+}
+
+// netSeries renders one curve's results into the gross- and
+// net-utilization series of Fig. 7.
+func (e *Env) netSeries(label string, results []core.Result) (gross, net plot.Series) {
+	gross = plot.Series{Name: label + " gross"}
+	net = plot.Series{Name: label + " net"}
 	for _, res := range results {
 		gross.Add(res.GrossUtilization, res.MeanResponse)
 		net.Add(res.NetUtilization, res.MeanResponse)
-		if res.Saturated || res.MeanResponse > e.ResponseCap {
+		if res.Saturated {
+			gross.Saturated = true
+			net.Saturated = true
+			break
+		}
+		if res.MeanResponse > e.ResponseCap {
 			break
 		}
 	}
-	return gross, net, nil
+	return gross, net
 }
 
 // Point runs one configuration at one offered gross utilization.
@@ -223,7 +313,26 @@ func (e *Env) Point(cs CurveSpec, util float64) (core.Result, error) {
 }
 
 func (e *Env) point(cs CurveSpec, util float64) (core.Result, error) {
-	return core.RunReplications(e.pointConfig(cs, util), e.Replications)
+	return e.runPoint(e.pointConfig(cs, util))
+}
+
+// runPoint runs one point's replications: a fixed count by default, or
+// the sequential stopping rule when Params.Precision is set.
+func (e *Env) runPoint(cfg core.Config) (core.Result, error) {
+	if e.Precision > 0 {
+		min := 0 // 0 = the core default (3)
+		if e.Replications >= 2 {
+			min = e.Replications
+		}
+		pr, err := core.RunUntilPrecision(core.PrecisionConfig{
+			Run:               cfg,
+			RelativePrecision: e.Precision,
+			MinReplications:   min,
+			MaxReplications:   e.MaxReplications,
+		})
+		return pr.Result, err
+	}
+	return core.RunReplications(cfg, e.Replications)
 }
 
 // pointConfig builds the run configuration of one sweep point, with the
@@ -234,17 +343,18 @@ func (e *Env) pointConfig(cs CurveSpec, util float64) core.Config {
 		capacity += s
 	}
 	cfg := core.Config{
-		ClusterSizes: cs.ClusterSizes,
-		Spec:         cs.Spec,
-		Policy:       cs.Policy,
-		Fit:          cs.Fit,
-		ArrivalRate:  cs.Spec.ArrivalRateForGrossUtilization(util, capacity),
-		QueueWeights: cs.QueueWeights,
-		WarmupJobs:   e.WarmupJobs,
-		MeasureJobs:  e.MeasureJobs,
-		Seed:         e.Seed,
-		Observer:     e.Observer,
-		Lookahead:    e.Lookahead,
+		ClusterSizes:     cs.ClusterSizes,
+		Spec:             cs.Spec,
+		Policy:           cs.Policy,
+		Fit:              cs.Fit,
+		ArrivalRate:      cs.Spec.ArrivalRateForGrossUtilization(util, capacity),
+		QueueWeights:     cs.QueueWeights,
+		WarmupJobs:       e.WarmupJobs,
+		MeasureJobs:      e.MeasureJobs,
+		Seed:             e.Seed,
+		Observer:         e.Observer,
+		Lookahead:        e.Lookahead,
+		SaturationCutoff: e.SaturationCutoff,
 	}
 	if !e.PerPolicyWorkload && cfg.RequestType == workload.Unordered {
 		cfg.TraceProvider = e.traces.provider(cfg)
@@ -259,7 +369,7 @@ func (e *Env) pointConfig(cs CurveSpec, util float64) core.Config {
 func (e *Env) FaultPoint(cs CurveSpec, util float64, fs *faults.Spec) (core.Result, error) {
 	cfg := e.pointConfig(cs, util)
 	cfg.Faults = fs
-	return core.RunReplications(cfg, e.Replications)
+	return e.runPoint(cfg)
 }
 
 // SaveCSV writes the series of an experiment to DataDir (when configured).

@@ -70,26 +70,39 @@ func Fig2(e *Env) (string, error) {
 func Fig3(e *Env) (string, error) {
 	var b strings.Builder
 	b.WriteString("Fig. 3 — response time vs gross utilization, all policies\n")
-	var all []plot.Series
+	// Gather the specs of all six panels first: batching the 24 curves
+	// into one Curves call lets the scheduler interleave every point of
+	// the figure instead of running panel after panel.
+	type panelSpec struct {
+		weights []float64
+		limit   int
+	}
+	var panels []panelSpec
+	var specs []CurveSpec
 	for _, weights := range [][]float64{nil, core.Unbalanced(len(MulticlusterSizes))} {
 		for _, limit := range Limits {
-			var panel []plot.Series
-			for _, cs := range e.standardCurves(limit, weights) {
-				s, err := e.Curve(cs)
-				if err != nil {
-					return "", err
-				}
-				panel = append(panel, s)
-				tagged := s
-				tagged.Name = fmt.Sprintf("%s limit=%d %s", s.Name, limit, balanceName(weights))
-				all = append(all, tagged)
-			}
-			title := fmt.Sprintf("\n--- component-size limit %d, %s local queues ---",
-				limit, balanceName(weights))
-			b.WriteString(title + "\n")
-			b.WriteString(plot.Chart("", "gross utilization", "mean response time (s)", panel, 64, 18))
-			b.WriteString(rankSummary(panel))
+			panels = append(panels, panelSpec{weights, limit})
+			specs = append(specs, e.standardCurves(limit, weights)...)
 		}
+	}
+	series, err := e.Curves(specs)
+	if err != nil {
+		return "", err
+	}
+	perPanel := len(specs) / len(panels)
+	var all []plot.Series
+	for pi, p := range panels {
+		panel := series[pi*perPanel : (pi+1)*perPanel]
+		for _, s := range panel {
+			tagged := s
+			tagged.Name = fmt.Sprintf("%s limit=%d %s", s.Name, p.limit, balanceName(p.weights))
+			all = append(all, tagged)
+		}
+		title := fmt.Sprintf("\n--- component-size limit %d, %s local queues ---",
+			p.limit, balanceName(p.weights))
+		b.WriteString(title + "\n")
+		b.WriteString(plot.Chart("", "gross utilization", "mean response time (s)", panel, 64, 18))
+		b.WriteString(rankSummary(panel))
 	}
 	if err := e.SaveCSV("fig3", all); err != nil {
 		return "", err
@@ -99,7 +112,10 @@ func Fig3(e *Env) (string, error) {
 
 // rankSummary prints the maximal utilization each curve reached before
 // saturating — the right-to-left performance ordering of the paper's
-// legends.
+// legends. A saturation terminator never ranks as stable, no matter what
+// partial response it measured: its values depend on how far the
+// diverging run was allowed to proceed (the saturation cutoff stops it
+// early), and "max stable" must be horizon-independent.
 func rankSummary(panel []plot.Series) string {
 	var b strings.Builder
 	b.WriteString("max stable gross utilization: ")
@@ -107,8 +123,12 @@ func rankSummary(panel []plot.Series) string {
 		if i > 0 {
 			b.WriteString(", ")
 		}
+		stable := s.Y
+		if s.Saturated {
+			stable = stable[:len(stable)-1]
+		}
 		last := 0.0
-		for j, y := range s.Y {
+		for j, y := range stable {
 			if y <= 10000 {
 				last = s.X[j]
 			}
@@ -185,8 +205,7 @@ func Fig5(e *Env) (string, error) {
 	const limit = 16
 	var b strings.Builder
 	b.WriteString("Fig. 5 — maximal total job size 64 vs 128 (limit 16, balanced queues)\n\n")
-	var all []plot.Series
-	var panel []plot.Series
+	var specs []CurveSpec
 	for _, v := range []struct {
 		tag   string
 		sizes int
@@ -196,21 +215,18 @@ func Fig5(e *Env) (string, error) {
 			sizeDist = e.Derived.Sizes64
 		}
 		spec := e.MultiSpec(limit, sizeDist)
-		curves := []CurveSpec{
-			{Label: "SC " + v.tag, Policy: "SC", ClusterSizes: SingleClusterSizes, Spec: e.SCSpec(sizeDist)},
-			{Label: "GS " + v.tag, Policy: "GS", ClusterSizes: MulticlusterSizes, Spec: spec},
-			{Label: "LS " + v.tag, Policy: "LS", ClusterSizes: MulticlusterSizes, Spec: spec},
-			{Label: "LP " + v.tag, Policy: "LP", ClusterSizes: MulticlusterSizes, Spec: spec},
-		}
-		for _, cs := range curves {
-			s, err := e.Curve(cs)
-			if err != nil {
-				return "", err
-			}
-			panel = append(panel, s)
-			all = append(all, s)
-		}
+		specs = append(specs,
+			CurveSpec{Label: "SC " + v.tag, Policy: "SC", ClusterSizes: SingleClusterSizes, Spec: e.SCSpec(sizeDist)},
+			CurveSpec{Label: "GS " + v.tag, Policy: "GS", ClusterSizes: MulticlusterSizes, Spec: spec},
+			CurveSpec{Label: "LS " + v.tag, Policy: "LS", ClusterSizes: MulticlusterSizes, Spec: spec},
+			CurveSpec{Label: "LP " + v.tag, Policy: "LP", ClusterSizes: MulticlusterSizes, Spec: spec},
+		)
 	}
+	panel, err := e.Curves(specs)
+	if err != nil {
+		return "", err
+	}
+	all := append([]plot.Series(nil), panel...)
 	b.WriteString(plot.Chart("", "gross utilization", "mean response time (s)", panel, 64, 20))
 	b.WriteString(rankSummary(panel))
 	b.WriteString("\n(paper shape: every policy improves with the size-64 cap; SC improves most.)\n")
@@ -236,22 +252,25 @@ func Fig6(e *Env) (string, error) {
 		{"LS", core.Unbalanced(len(MulticlusterSizes))},
 		{"LP", core.Unbalanced(len(MulticlusterSizes))},
 	}
+	var specs []CurveSpec
 	for _, p := range panels {
-		var panel []plot.Series
 		for _, limit := range Limits {
-			spec := e.MultiSpec(limit, e.Derived.Sizes128)
-			cs := CurveSpec{
+			specs = append(specs, CurveSpec{
 				Label:        fmt.Sprintf("%s %d", p.policy, limit),
 				Policy:       p.policy,
 				ClusterSizes: MulticlusterSizes,
-				Spec:         spec,
+				Spec:         e.MultiSpec(limit, e.Derived.Sizes128),
 				QueueWeights: p.weights,
-			}
-			s, err := e.Curve(cs)
-			if err != nil {
-				return "", err
-			}
-			panel = append(panel, s)
+			})
+		}
+	}
+	series, err := e.Curves(specs)
+	if err != nil {
+		return "", err
+	}
+	for pi, p := range panels {
+		panel := series[pi*len(Limits) : (pi+1)*len(Limits)]
+		for _, s := range panel {
 			tagged := s
 			tagged.Name = fmt.Sprintf("%s %s", s.Name, balanceName(p.weights))
 			all = append(all, tagged)
@@ -273,26 +292,31 @@ func Fig6(e *Env) (string, error) {
 func Fig7(e *Env) (string, error) {
 	var b strings.Builder
 	b.WriteString("Fig. 7 — response time vs gross and net utilization\n")
-	var all []plot.Series
+	var specs []CurveSpec
+	var limits []int
 	for _, policy := range []string{"LS", "LP", "GS"} {
 		for _, limit := range Limits {
-			spec := e.MultiSpec(limit, e.Derived.Sizes128)
-			cs := CurveSpec{
+			specs = append(specs, CurveSpec{
 				Label:        fmt.Sprintf("%s %d", policy, limit),
 				Policy:       policy,
 				ClusterSizes: MulticlusterSizes,
-				Spec:         spec,
-			}
-			gross, net, err := e.CurveNet(cs)
-			if err != nil {
-				return "", err
-			}
-			all = append(all, gross, net)
-			fmt.Fprintf(&b, "\n--- %s, limit %d (analytic gross/net ratio %.4f) ---\n",
-				policy, limit, spec.GrossNetRatio())
-			b.WriteString(plot.Chart("", "utilization", "mean response time (s)",
-				[]plot.Series{gross, net}, 64, 14))
+				Spec:         e.MultiSpec(limit, e.Derived.Sizes128),
+			})
+			limits = append(limits, limit)
 		}
+	}
+	sets, err := e.CurveSet(specs)
+	if err != nil {
+		return "", err
+	}
+	var all []plot.Series
+	for si, cs := range specs {
+		gross, net := e.netSeries(cs.Label, sets[si])
+		all = append(all, gross, net)
+		fmt.Fprintf(&b, "\n--- %s, limit %d (analytic gross/net ratio %.4f) ---\n",
+			cs.Policy, limits[si], cs.Spec.GrossNetRatio())
+		b.WriteString(plot.Chart("", "utilization", "mean response time (s)",
+			[]plot.Series{gross, net}, 64, 14))
 	}
 	b.WriteString("\n(paper shape: the gross-net gap grows as the limit shrinks; largest for LS 16.)\n")
 	if err := e.SaveCSV("fig7", all); err != nil {

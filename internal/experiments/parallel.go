@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 
@@ -11,97 +12,247 @@ import (
 
 // The utilization sweeps behind each figure are embarrassingly parallel:
 // every (configuration, utilization) point is an independent simulation.
-// runPoints fans the points of one curve out over the process-wide worker
-// pool while preserving the sweep's sequential early-stop semantics: the
-// curve still ends at the first saturated (or failed) point, exactly as
-// the serial sweep would, because results are consumed in grid order.
+// This file fans the points of a whole figure — every (curve, utilization)
+// pair — out over the process-wide worker pool while preserving the
+// sequential early-stop semantics: each curve still ends at the first
+// saturated (or failed) point, exactly as a serial sweep would, because
+// results are consumed per curve in grid order.
 
-// runPoints runs fn over the grid on the shared workpool and returns
-// results in grid order. The points are claimed work-stealing style from a
-// single shared counter, so one slow point never stalls the others — the
-// remaining workers keep draining the grid. When a point saturates or
-// fails, the stop marker shrinks and points at or beyond it are never
-// started; the wasted work of the parallel sweep is bounded by the points
-// already in flight, at most one pool's width past the stop. The returned
-// slice may therefore be shorter than the grid; it always extends at least
-// through the first saturated point.
-func runPoints(grid []float64, fn func(util float64) (core.Result, error)) ([]core.Result, error) {
-	results := make([]core.Result, len(grid))
-	errs := make([]error, len(grid))
-	var stopAt atomic.Int64 // index after the first saturated/failed point
-	stopAt.Store(int64(len(grid)))
-	workpool.Do(len(grid), func(i int) {
-		if int64(i) >= stopAt.Load() {
+// ScheduleMode selects how the points of an experiment are laid out on the
+// shared worker pool.
+type ScheduleMode int
+
+const (
+	// ScheduleFigure — the default — enumerates every (curve, point)
+	// task of a figure up front and claims the expected-longest points
+	// first (descending grid index: the grids are ordered from cheap to
+	// expensive, low utilization to high, low failure rate to high), so
+	// no per-curve barrier ever leaves the pool idle behind one straggler
+	// curve. The merge consumes results per curve in grid order, so the
+	// rendered output is byte-identical to the serial schedule — pinned
+	// by a guardrail test.
+	ScheduleFigure ScheduleMode = iota
+	// SchedulePerCurve restores the pre-overhaul behavior: one parallel
+	// sweep per curve, with a barrier between curves.
+	SchedulePerCurve
+	// ScheduleSerial runs every point serially in grid order. An
+	// attached Observer forces this mode: an Observer — and its trace —
+	// is single-threaded.
+	ScheduleSerial
+)
+
+// curveJob is one curve's worth of sweep points: a labelled grid and the
+// function that runs one point.
+type curveJob struct {
+	label string
+	grid  []float64
+	fn    func(u float64) (core.Result, error)
+}
+
+// progress serializes the per-point progress lines and tracks the
+// effective point count: when an early stop shrinks a curve, the skipped
+// points leave the denominator, so a long sweep never appears stalled at
+// "7/18" after saturation ended it at 7.
+type progress struct {
+	mu      sync.Mutex
+	w       io.Writer
+	done    int
+	skipped int
+	total   int
+}
+
+// newProgress returns nil when no progress writer is configured; every
+// method is nil-safe.
+func newProgress(w io.Writer, total int) *progress {
+	if w == nil {
+		return nil
+	}
+	return &progress{w: w, total: total}
+}
+
+// point prints one completed point. The denominator is the effective
+// count total - skipped, clamped from below by done: points that were
+// already in flight when their curve's stop marker shrank still complete
+// and report, and the denominator must never read less than the numerator.
+func (p *progress) point(label string, u float64, res core.Result, err error) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.done++
+	eff := p.total - p.skipped
+	if eff < p.done {
+		eff = p.done
+	}
+	switch {
+	case err != nil:
+		fmt.Fprintf(p.w, "%s: util %.2f failed: %v\n", label, u, err)
+	case res.Saturated:
+		fmt.Fprintf(p.w, "%s: util %.2f saturated (%d/%d points)\n", label, u, p.done, eff)
+	default:
+		fmt.Fprintf(p.w, "%s: util %.2f -> response %.0f s (%d/%d points)\n",
+			label, u, res.MeanResponse, p.done, eff)
+	}
+	p.mu.Unlock()
+}
+
+// skip removes n points from the effective count.
+func (p *progress) skip(n int) {
+	if p == nil || n <= 0 {
+		return
+	}
+	p.mu.Lock()
+	p.skipped += n
+	p.mu.Unlock()
+}
+
+// runSet runs every (curve, point) task of the job set on the shared
+// workpool and returns each curve's results in grid order. Tasks are
+// enumerated up front and claimed in descending grid-index order (the
+// expected-longest points first), interleaving the curves, so the pool
+// drains the whole figure without per-curve barriers: one slow curve
+// never idles the workers the other curves could use. Each curve keeps
+// its own stop marker: when a point saturates or fails, points of that
+// curve at or beyond it are never started, and the wasted work is bounded
+// by the points already in flight. Each returned slice may therefore be
+// shorter than its grid; it always extends at least through the curve's
+// first saturated point, because the marker only ever shrinks to just
+// past a completed point — every index below the final marker ran.
+func runSet(jobs []curveJob, prog *progress) ([][]core.Result, error) {
+	results := make([][]core.Result, len(jobs))
+	errs := make([][]error, len(jobs))
+	stopAt := make([]atomic.Int64, len(jobs))
+	maxLen := 0
+	for c := range jobs {
+		n := len(jobs[c].grid)
+		results[c] = make([]core.Result, n)
+		errs[c] = make([]error, n)
+		stopAt[c].Store(int64(n))
+		if n > maxLen {
+			maxLen = n
+		}
+	}
+	type task struct{ c, i int }
+	tasks := make([]task, 0, maxLen*len(jobs))
+	for i := maxLen - 1; i >= 0; i-- {
+		for c := range jobs {
+			if i < len(jobs[c].grid) {
+				tasks = append(tasks, task{c, i})
+			}
+		}
+	}
+	workpool.Do(len(tasks), func(k int) {
+		t := tasks[k]
+		job := &jobs[t.c]
+		if int64(t.i) >= stopAt[t.c].Load() {
 			return
 		}
-		results[i], errs[i] = fn(grid[i])
-		if errs[i] != nil || results[i].Saturated {
-			// Shrink stopAt to min(stopAt, i+1): the sweep ends here
-			// unless an earlier point also stops it.
+		res, err := job.fn(job.grid[t.i])
+		results[t.c][t.i], errs[t.c][t.i] = res, err
+		if err != nil || res.Saturated {
+			// Shrink the curve's marker to min(marker, i+1) and retire
+			// the newly cut points from the effective progress count —
+			// before printing this point, so its line already shows the
+			// shrunken denominator.
 			for {
-				cur := stopAt.Load()
-				if cur <= int64(i)+1 || stopAt.CompareAndSwap(cur, int64(i)+1) {
+				cur := stopAt[t.c].Load()
+				if cur <= int64(t.i)+1 {
+					break
+				}
+				if stopAt[t.c].CompareAndSwap(cur, int64(t.i)+1) {
+					prog.skip(int(cur) - (t.i + 1))
 					break
 				}
 			}
 		}
+		prog.point(job.label, job.grid[t.i], res, err)
 	})
-	// Consume in grid order: every index below the final stop marker ran
-	// (the marker only shrinks to just past a completed point, and tasks
-	// skip only indexes at or beyond it).
-	out := results[:0]
-	for i := 0; int64(i) < stopAt.Load(); i++ {
-		if errs[i] != nil {
-			return nil, errs[i]
-		}
-		out = append(out, results[i])
-		if results[i].Saturated {
-			break
+	// Consume per curve in grid order; the first error in curve-then-grid
+	// order wins, deterministically.
+	out := make([][]core.Result, len(jobs))
+	for c := range jobs {
+		limit := int(stopAt[c].Load())
+		for i := 0; i < limit; i++ {
+			if errs[c][i] != nil {
+				return nil, errs[c][i]
+			}
+			out[c] = append(out[c], results[c][i])
+			if results[c][i].Saturated {
+				break
+			}
 		}
 	}
 	return out, nil
 }
 
-// sweep runs one labelled curve sweep over the grid. Without an Observer
-// the points fan out over the shared workpool (runPoints); with one they
-// run serially in grid order, because an Observer — and its trace — is
-// single-threaded. Progress, when configured, receives one line per
-// completed point; completion order is arrival order in the parallel case.
-func (e *Env) sweep(label string, grid []float64, fn func(util float64) (core.Result, error)) ([]core.Result, error) {
-	run := fn
-	if e.Progress != nil {
-		var mu sync.Mutex
-		done := 0
-		run = func(u float64) (core.Result, error) {
-			res, err := fn(u)
-			mu.Lock()
-			done++
-			switch {
-			case err != nil:
-				fmt.Fprintf(e.Progress, "%s: util %.2f failed: %v\n", label, u, err)
-			case res.Saturated:
-				fmt.Fprintf(e.Progress, "%s: util %.2f saturated (%d/%d points)\n", label, u, done, len(grid))
-			default:
-				fmt.Fprintf(e.Progress, "%s: util %.2f -> response %.0f s (%d/%d points)\n",
-					label, u, res.MeanResponse, done, len(grid))
+// runPoints runs fn over the grid of a single curve on the shared
+// workpool and returns results in grid order — runSet for one curve.
+func runPoints(grid []float64, fn func(util float64) (core.Result, error)) ([]core.Result, error) {
+	out, err := runSet([]curveJob{{grid: grid, fn: fn}}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
+}
+
+// sweepSet runs a set of curves under the environment's schedule mode and
+// returns each curve's results in grid order. The three modes produce
+// identical result sets — the scheduler only changes completion order,
+// and the merge consumes in grid order regardless — so the rendered
+// figures are byte-identical across modes (pinned by a guardrail test).
+func (e *Env) sweepSet(jobs []curveJob) ([][]core.Result, error) {
+	mode := e.Schedule
+	if e.Observer != nil {
+		mode = ScheduleSerial
+	}
+	switch mode {
+	case ScheduleSerial:
+		out := make([][]core.Result, len(jobs))
+		for c := range jobs {
+			job := &jobs[c]
+			prog := newProgress(e.Progress, len(job.grid))
+			for i, u := range job.grid {
+				res, err := job.fn(u)
+				if err != nil {
+					prog.point(job.label, u, res, err)
+					return nil, err
+				}
+				if res.Saturated {
+					prog.skip(len(job.grid) - i - 1)
+				}
+				prog.point(job.label, u, res, err)
+				out[c] = append(out[c], res)
+				if res.Saturated {
+					break
+				}
 			}
-			mu.Unlock()
-			return res, err
 		}
-	}
-	if e.Observer == nil {
-		return runPoints(grid, run)
-	}
-	var out []core.Result
-	for _, u := range grid {
-		res, err := run(u)
-		if err != nil {
-			return nil, err
+		return out, nil
+	case SchedulePerCurve:
+		out := make([][]core.Result, len(jobs))
+		for c := range jobs {
+			one, err := runSet(jobs[c:c+1], newProgress(e.Progress, len(jobs[c].grid)))
+			if err != nil {
+				return nil, err
+			}
+			out[c] = one[0]
 		}
-		out = append(out, res)
-		if res.Saturated {
-			break
+		return out, nil
+	default: // ScheduleFigure
+		total := 0
+		for c := range jobs {
+			total += len(jobs[c].grid)
 		}
+		return runSet(jobs, newProgress(e.Progress, total))
 	}
-	return out, nil
+}
+
+// sweep runs one labelled curve sweep over the grid under the
+// environment's schedule mode.
+func (e *Env) sweep(label string, grid []float64, fn func(util float64) (core.Result, error)) ([]core.Result, error) {
+	out, err := e.sweepSet([]curveJob{{label: label, grid: grid, fn: fn}})
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
 }

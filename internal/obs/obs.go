@@ -47,6 +47,12 @@ type Observer struct {
 	passesRepaired *Counter
 	lookaheadTrunc *Counter
 
+	// The saturation-cutoff counters are likewise lazy: the monitor never
+	// fires on a stable run, and such a run's metric summary must stay
+	// byte-identical with the monitor on.
+	cutoffFired *Counter
+	cutoffTrunc *Counter
+
 	// Fault metrics are registered lazily, on the first fault event of a
 	// run: WriteText prints every registered metric, so eager
 	// registration would change the summary block of every fault-free
@@ -226,6 +232,22 @@ func (o *Observer) LookaheadTruncated() {
 		o.lookaheadTrunc = o.Metrics.Counter("sched.lookahead_truncated")
 	}
 	o.lookaheadTrunc.Inc()
+}
+
+// SaturationCutoff records the divergence monitor halting a run early,
+// with the number of measured departures it skipped.
+func (o *Observer) SaturationCutoff(truncated int) {
+	if o == nil {
+		return
+	}
+	if o.cutoffFired == nil {
+		o.cutoffFired = o.Metrics.Counter("run.saturation_cutoffs")
+		o.cutoffTrunc = o.Metrics.Counter("run.truncated_jobs")
+	}
+	o.cutoffFired.Inc()
+	if truncated > 0 {
+		o.cutoffTrunc.Add(uint64(truncated))
+	}
 }
 
 // BackfillSuccess records a backfill candidate actually started.

@@ -16,6 +16,12 @@ type Series struct {
 	Name string
 	X    []float64
 	Y    []float64
+	// Saturated marks the last point as a saturation terminator: the
+	// run behind it diverged, so its measured values depend on how far
+	// the run was allowed to proceed. Plots still draw it (the curve
+	// visibly shooting up is the paper's idiom), but summaries must not
+	// treat it as a stable operating point.
+	Saturated bool
 }
 
 // Add appends a point.

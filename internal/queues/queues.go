@@ -124,12 +124,26 @@ func (q *FIFO) Empty() bool { return q.Len() == 0 }
 // ordering contract: the visit order is the enable order, a disabled queue
 // leaves the order, and re-enabled queues rejoin it in the order they were
 // disabled.
+//
+// The visit order lives in an intrusive doubly linked list (index arrays
+// over the queue ids plus one sentinel), so Disable — which sits on the
+// LS/LP per-pass path, once per head miss — unlinks in O(1) instead of
+// scanning and shifting an order slice. The flat []int view of the order
+// is materialized lazily, only when Enabled is called after a mutation;
+// the policies copy that view once per scheduling round, so the rebuild
+// replaces a copy they paid for anyway.
 type EnableSet struct {
-	enabled  []int // queue ids in visit order
-	disabled []int // queue ids in the order they were disabled
-	state    []bool
-	n        int
-	obs      *obs.Observer
+	// next and prev chain the enabled queue ids in visit order through a
+	// circular list anchored at sentinel index n. Entries of disabled
+	// queues are meaningless until they are relinked.
+	next, prev []int
+	order      []int // cached visit order; rebuilt when stale
+	stale      bool
+	disabled   []int // queue ids in the order they were disabled
+	state      []bool
+	live       int // number of enabled queues
+	n          int
+	obs        *obs.Observer
 }
 
 // NewEnableSet returns an EnableSet over queues 0..n-1, all enabled, with
@@ -138,9 +152,20 @@ func NewEnableSet(n int) *EnableSet {
 	if n <= 0 {
 		panic(fmt.Sprintf("queues: NewEnableSet(%d)", n))
 	}
-	s := &EnableSet{state: make([]bool, n), n: n}
+	s := &EnableSet{
+		next:  make([]int, n+1),
+		prev:  make([]int, n+1),
+		order: make([]int, 0, n),
+		state: make([]bool, n),
+		live:  n,
+		n:     n,
+	}
+	for i := 0; i <= n; i++ {
+		s.next[i] = (i + 1) % (n + 1)
+		s.prev[i] = (i + n) % (n + 1)
+	}
 	for i := 0; i < n; i++ {
-		s.enabled = append(s.enabled, i)
+		s.order = append(s.order, i)
 		s.state[i] = true
 	}
 	return s
@@ -153,10 +178,28 @@ func (s *EnableSet) SetObserver(o *obs.Observer) { s.obs = o }
 
 // Enabled returns the enabled queue ids in visit order. The slice is the
 // set's internal state; callers must not retain it across mutations.
-func (s *EnableSet) Enabled() []int { return s.enabled }
+func (s *EnableSet) Enabled() []int {
+	if s.stale {
+		s.order = s.order[:0]
+		for q := s.next[s.n]; q != s.n; q = s.next[q] {
+			s.order = append(s.order, q)
+		}
+		s.stale = false
+	}
+	return s.order
+}
 
 // IsEnabled reports whether queue q is enabled.
 func (s *EnableSet) IsEnabled(q int) bool { return s.state[q] }
+
+// linkTail appends queue q to the end of the visit order.
+func (s *EnableSet) linkTail(q int) {
+	tail := s.prev[s.n]
+	s.next[tail] = q
+	s.prev[q] = tail
+	s.next[q] = s.n
+	s.prev[s.n] = q
+}
 
 // Disable removes queue q from the visit order and records the disable
 // order. Disabling a disabled queue is a no-op.
@@ -168,12 +211,10 @@ func (s *EnableSet) Disable(q int) {
 		return
 	}
 	s.state[q] = false
-	for i, id := range s.enabled {
-		if id == q {
-			s.enabled = append(s.enabled[:i], s.enabled[i+1:]...)
-			break
-		}
-	}
+	s.next[s.prev[q]] = s.next[q]
+	s.prev[s.next[q]] = s.prev[q]
+	s.live--
+	s.stale = true
 	s.disabled = append(s.disabled, q)
 	s.obs.QueueDisabled(q)
 }
@@ -182,12 +223,17 @@ func (s *EnableSet) Disable(q int) {
 // order in the order they were disabled ("at each job departure the queues
 // are enabled in the same order in which they were disabled").
 func (s *EnableSet) EnableAll() {
+	if len(s.disabled) == 0 {
+		return
+	}
 	for _, q := range s.disabled {
 		s.state[q] = true
-		s.enabled = append(s.enabled, q)
+		s.linkTail(q)
 		s.obs.QueueEnabled(q)
 	}
+	s.live += len(s.disabled)
 	s.disabled = s.disabled[:0]
+	s.stale = true
 }
 
 // EnableAllSorted re-enables every queue and resets the visit order to
@@ -197,16 +243,20 @@ func (s *EnableSet) EnableAllSorted() {
 	for _, q := range s.disabled {
 		s.obs.QueueEnabled(q)
 	}
-	s.enabled = s.enabled[:0]
 	s.disabled = s.disabled[:0]
+	for i := 0; i <= s.n; i++ {
+		s.next[i] = (i + 1) % (s.n + 1)
+		s.prev[i] = (i + s.n) % (s.n + 1)
+	}
 	for q := 0; q < s.n; q++ {
 		s.state[q] = true
-		s.enabled = append(s.enabled, q)
 	}
+	s.live = s.n
+	s.stale = true
 }
 
 // AnyEnabled reports whether at least one queue is enabled.
-func (s *EnableSet) AnyEnabled() bool { return len(s.enabled) > 0 }
+func (s *EnableSet) AnyEnabled() bool { return s.live > 0 }
 
 // NumDisabled returns the number of disabled queues.
 func (s *EnableSet) NumDisabled() int { return len(s.disabled) }

@@ -241,6 +241,89 @@ func TestEnableSetInvariant(t *testing.T) {
 	}
 }
 
+// TestEnableSetOrderMatchesReference drives random disable/enable-all
+// sequences against a naive slice-based model of the paper's ordering
+// contract and requires the intrusive-list implementation to report the
+// exact same visit order at every step.
+func TestEnableSetOrderMatchesReference(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.NewStream(seed)
+		n := 1 + r.Intn(8)
+		s := NewEnableSet(n)
+		// Reference model: the visit order as a slice, plus the disable
+		// order.
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		var disabled []int
+		for step := 0; step < 300; step++ {
+			switch r.Intn(6) {
+			case 0:
+				s.EnableAll()
+				order = append(order, disabled...)
+				disabled = disabled[:0]
+			case 1:
+				s.EnableAllSorted()
+				order = order[:0]
+				for i := 0; i < n; i++ {
+					order = append(order, i)
+				}
+				disabled = disabled[:0]
+			default:
+				q := r.Intn(n)
+				s.Disable(q)
+				for i, v := range order {
+					if v == q {
+						order = append(order[:i], order[i+1:]...)
+						disabled = append(disabled, q)
+						break
+					}
+				}
+			}
+			got := s.Enabled()
+			if len(got) != len(order) {
+				return false
+			}
+			for i := range order {
+				if got[i] != order[i] {
+					return false
+				}
+			}
+			if s.AnyEnabled() != (len(order) > 0) || s.NumDisabled() != len(disabled) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEnableSetDisableNoAlloc pins the hot-path property the intrusive
+// list buys: in the steady state (disabled capacity warmed up), a
+// disable/enable-all cycle allocates nothing.
+func TestEnableSetDisableNoAlloc(t *testing.T) {
+	s := NewEnableSet(8)
+	// Warm the disabled slice's capacity and the order cache.
+	for q := 0; q < 8; q++ {
+		s.Disable(q)
+	}
+	s.EnableAll()
+	s.Enabled()
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Disable(3)
+		s.Disable(6)
+		s.Enabled()
+		s.EnableAll()
+		s.Enabled()
+	})
+	if allocs != 0 {
+		t.Errorf("disable/enable-all cycle allocates %.1f times per run, want 0", allocs)
+	}
+}
+
 func TestForEachWaiting(t *testing.T) {
 	var q FIFO
 	for i := int64(1); i <= 5; i++ {

@@ -45,6 +45,73 @@ func TestNestedDoCompletes(t *testing.T) {
 	}
 }
 
+// TestThreeDeepNestedDoUnderSaturation is the sweep → replications →
+// speculative-precision shape: three nested Do layers, started while the
+// semaphore is already completely full, so no layer can ever recruit a
+// worker. Every Do must degrade to a serial loop on its caller and the
+// whole nest must still complete — the deadlock-freedom property the
+// experiment scheduler, RunReplications, and RunUntilPrecision stack on
+// top of each other.
+func TestThreeDeepNestedDoUnderSaturation(t *testing.T) {
+	// Saturate the pool: with every slot held, Do's recruit loop takes the
+	// default branch immediately.
+	for i := 0; i < cap(sem); i++ {
+		sem <- struct{}{}
+	}
+	defer func() {
+		for i := 0; i < cap(sem); i++ {
+			<-sem
+		}
+	}()
+	var total atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		Do(3, func(i int) { // sweep points
+			Do(4, func(j int) { // replications per point
+				Do(5, func(k int) { // speculative batch per replication
+					total.Add(1)
+				})
+			})
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("three-deep nested Do deadlocked on a saturated pool")
+	}
+	if total.Load() != 3*4*5 {
+		t.Errorf("ran %d leaf tasks, want %d", total.Load(), 3*4*5)
+	}
+}
+
+// TestThreeDeepNestedDoConcurrent runs the same three-layer nest with the
+// pool free and many outer tasks, checking the task accounting stays exact
+// when recruitment actually happens at every layer.
+func TestThreeDeepNestedDoConcurrent(t *testing.T) {
+	outer := 4 * Size()
+	var total atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		Do(outer, func(i int) {
+			Do(3, func(j int) {
+				Do(2, func(k int) {
+					total.Add(1)
+				})
+			})
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("three-deep nested Do deadlocked")
+	}
+	if want := int64(outer * 3 * 2); total.Load() != want {
+		t.Errorf("ran %d leaf tasks, want %d", total.Load(), want)
+	}
+}
+
 // TestSlowTaskDoesNotStallOthers starts one slow task and checks the
 // remaining tasks finish long before it.
 func TestSlowTaskDoesNotStallOthers(t *testing.T) {

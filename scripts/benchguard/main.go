@@ -25,6 +25,14 @@
 // Compare like with like: the recorded key must have been measured at the
 // same -benchtime as the guarded run (single-shot runs include warm-up
 // allocations that amortized runs do not).
+//
+// A second, record-free gate compares two sub-benchmarks from the fresh
+// run against each other: with -speedup-base A -speedup-test B
+// -min-speedup R the run fails unless ns/op(A) / ns/op(B) >= R. This is
+// the sweep-layer analogue of the allocs gate — it pins an optimization
+// as a *ratio* (e.g. the saturation-cutoff overhaul must keep the figure
+// wall-clock benchmark at least 3x faster than its legacy arm), so it is
+// immune to the machine being faster or slower than the recording one.
 package main
 
 import (
@@ -66,7 +74,13 @@ func main() {
 	match := flag.String("match", `^BenchmarkFig5$|^BenchmarkBackfillPolicies/|^BenchmarkFaultPathDisabled/`, "regexp selecting the guarded benchmarks")
 	maxRegress := flag.Float64("max-regress", 0.10, "allowed fractional allocs/op increase over the record")
 	maxTimeRegress := flag.Float64("max-time-regress", 0, "allowed fractional ns/op increase over the record (0 = no time gate)")
+	speedupBase := flag.String("speedup-base", "", "slow (baseline) benchmark name for the in-run speedup gate")
+	speedupTest := flag.String("speedup-test", "", "fast (optimized) benchmark name for the in-run speedup gate")
+	minSpeedup := flag.Float64("min-speedup", 0, "fail unless ns/op(speedup-base) / ns/op(speedup-test) >= this ratio (0 = no speedup gate)")
 	flag.Parse()
+	if (*minSpeedup > 0) != (*speedupBase != "" && *speedupTest != "") {
+		fatal(fmt.Errorf("-min-speedup, -speedup-base and -speedup-test must be set together"))
+	}
 
 	guard, err := regexp.Compile(*match)
 	if err != nil {
@@ -156,6 +170,34 @@ func main() {
 				fmt.Fprintf(os.Stderr, "benchguard: %s takes %.0f ns/op, recorded %.0f ns/op (limit %.0f, +%.0f%%)\n",
 					name, got.nsPerOp, rec.NsPerOp, limit, *maxTimeRegress*100)
 				failed = true
+			}
+		}
+	}
+	if *minSpeedup > 0 {
+		base, baseOK := fresh[*speedupBase]
+		test, testOK := fresh[*speedupTest]
+		switch {
+		case !baseOK || !testOK:
+			// A renamed or deleted arm must fail loudly: a speedup gate
+			// that silently stops measuring guards nothing.
+			for name, ok := range map[string]bool{*speedupBase: baseOK, *speedupTest: testOK} {
+				if !ok {
+					fmt.Fprintf(os.Stderr, "benchguard: speedup gate: %s missing from this run\n", name)
+				}
+			}
+			failed = true
+		case test.nsPerOp <= 0:
+			fmt.Fprintf(os.Stderr, "benchguard: speedup gate: %s reports %g ns/op\n", *speedupTest, test.nsPerOp)
+			failed = true
+		default:
+			ratio := base.nsPerOp / test.nsPerOp
+			if ratio < *minSpeedup {
+				fmt.Fprintf(os.Stderr, "benchguard: %s is only %.2fx faster than %s (floor %.2fx)\n",
+					*speedupTest, ratio, *speedupBase, *minSpeedup)
+				failed = true
+			} else {
+				fmt.Fprintf(os.Stderr, "benchguard: %s is %.2fx faster than %s (floor %.2fx)\n",
+					*speedupTest, ratio, *speedupBase, *minSpeedup)
 			}
 		}
 	}
