@@ -4,7 +4,7 @@ GO ?= go
 
 # The hot-path benchmarks recorded in BENCH_1.json. Table/Fig benchmarks
 # ride along so end-to-end regeneration time is tracked too.
-BENCHES = BenchmarkEngineEventRate|BenchmarkPolicyThroughput|BenchmarkBackfillPolicies|BenchmarkTable1|BenchmarkFig5|BenchmarkFaultPathDisabled
+BENCHES = BenchmarkEngineEventRate|BenchmarkPolicyThroughput|BenchmarkBackfillPolicies|BenchmarkTable1|BenchmarkFig5|BenchmarkFaultPathDisabled|BenchmarkDecisionPathDisabled
 
 # The sweep-layer wall-clock benchmark recorded in BENCH_4.json: a
 # saturated-heavy figure grid run once with the legacy per-curve schedule
@@ -54,7 +54,8 @@ bench:
 # pipes the output through the regression guard, which takes the
 # per-benchmark minimum (the noise filter for shared machines): the run
 # fails when the macro benchmarks (Fig5, BackfillPolicies/* — including
-# GS-CONS and GS-EASY — and FaultPathDisabled/*) regress more than 10% in
+# GS-CONS and GS-EASY — FaultPathDisabled/* and DecisionPathDisabled/*,
+# the zero-overhead-when-off contracts) regress more than 10% in
 # allocs/op or 35% in ns/op against the "smoke" snapshot of
 # BENCH_3.json — so CI catches benchmarks that rot, hot paths that
 # quietly start allocating, and algorithmic speedups that get

@@ -358,6 +358,45 @@ func BenchmarkFaultPathDisabled(b *testing.B) {
 	}
 }
 
+// BenchmarkDecisionPathDisabled measures the open-system hot loop with
+// decision tracing off — the default. Every dispatch, head-miss and
+// reservation site now carries a tracer hook, but a nil tracer must cost
+// one pointer compare: the benchmark pins the "tracing off means zero
+// overhead" contract (no probes, no regret accounting, no extra
+// allocations) that the core guardrail test pins for outputs. The GS-CONS
+// variant covers the backfilling hooks (BeginAlts/AddAlt/Reserve on the
+// availability profile); LS covers the FCFS-family dispatch and miss
+// hooks.
+func BenchmarkDecisionPathDisabled(b *testing.B) {
+	der := workload.DeriveDefault()
+	spec := workload.Spec{
+		Sizes:           der.Sizes128,
+		Service:         der.Service,
+		ComponentLimit:  16,
+		Clusters:        4,
+		ExtensionFactor: workload.DefaultExtensionFactor,
+	}
+	for _, policy := range []string{"LS", "GS-CONS"} {
+		policy := policy
+		b.Run(policy, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := core.Config{
+					ClusterSizes: []int{32, 32, 32, 32},
+					Spec:         spec,
+					Policy:       policy,
+					WarmupJobs:   100,
+					MeasureJobs:  5000,
+					Seed:         uint64(i + 1),
+					Decisions:    nil, // tracing off: the hooks must vanish
+				}
+				if _, err := core.RunAtUtilization(cfg, 0.5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkReplay measures trace-replay throughput (jobs per op reported
 // via b.N scaling: one 10k-job replay per iteration).
 func BenchmarkReplay(b *testing.B) {

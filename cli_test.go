@@ -50,6 +50,25 @@ func run(t *testing.T, bin string, args ...string) string {
 	return string(out)
 }
 
+// runExpectExit executes a built binary expecting it to fail with the
+// given exit status, and returns its stdout+stderr for message checks.
+func runExpectExit(t *testing.T, want int, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("%s %s: succeeded, want exit %d\n%s", filepath.Base(bin), strings.Join(args, " "), want, out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("%s %s: %v (not an exit error)", filepath.Base(bin), strings.Join(args, " "), err)
+	}
+	if got := ee.ExitCode(); got != want {
+		t.Fatalf("%s %s: exit %d, want %d\n%s", filepath.Base(bin), strings.Join(args, " "), got, want, out)
+	}
+	return string(out)
+}
+
 func TestCLIEndToEnd(t *testing.T) {
 	bins := buildCommands(t)
 	bin := func(name string) string { return filepath.Join(bins, name) }
@@ -110,6 +129,69 @@ func TestCLIEndToEnd(t *testing.T) {
 		}
 		if !strings.HasPrefix(string(data), "id,size,components") {
 			t.Errorf("gantt CSV header: %q", string(data[:30]))
+		}
+	})
+
+	t.Run("mcsim decisions", func(t *testing.T) {
+		trace := filepath.Join(bins, "decisions.jsonl")
+		out := run(t, bin("mcsim"), "-policy", "GS-CONS", "-limit", "16", "-util", "0.6",
+			"-jobs", "1500", "-warmup", "200", "-decisions", "-metrics", "-trace", trace)
+		for _, w := range []string{"decisions recorded", "regret", "sched.decisions"} {
+			if !strings.Contains(out, w) {
+				t.Errorf("mcsim -decisions output missing %q:\n%s", w, out)
+			}
+		}
+		data, err := os.ReadFile(trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), `"ev":"decision"`) {
+			t.Error("trace has no decision records")
+		}
+	})
+
+	t.Run("flag validation", func(t *testing.T) {
+		// Unified exit status 2 for bad flag combinations, with the same
+		// wording family across commands.
+		cases := []struct {
+			bin  string
+			args []string
+			want string
+		}{
+			{"mcsim", []string{"-policy", "LS", "-lookahead", "8"}, "conservative backfilling"},
+			{"mcsim", []string{"-policy", "GS-CONS", "-lookahead", "-2"}, "must be >= 1"},
+			{"mcsim", []string{"-policy", "GS", "-backlog", "-decisions"}, "-decisions"},
+			{"mcsim", []string{"-policy", "GS", "-backlog", "-metrics"}, "-backlog"},
+			{"mcsim", []string{"-policy", "GS", "-retry-base", "700"}, "retry window"},
+			{"mcexp", []string{"-quick", "-lookahead", "8", "fig1"}, "conservative backfilling"},
+			{"mcexp", []string{"-quick", "-lookahead", "-2", "backfill"}, "must be >= 1"},
+			{"mcexp", []string{"-quick", "-decisions", "table1"}, "-decisions"},
+			{"mcexp", []string{"-quick", "-retry-cap", "5", "faults"}, "retry window"},
+		}
+		for _, c := range cases {
+			out := runExpectExit(t, 2, bin(c.bin), c.args...)
+			if !strings.Contains(out, c.want) {
+				t.Errorf("%s %s: message %q missing %q", c.bin, strings.Join(c.args, " "), out, c.want)
+			}
+		}
+		// Valid combinations of the same flags still run.
+		run(t, bin("mcsim"), "-policy", "GS-CONS", "-lookahead", "8", "-util", "0.4",
+			"-jobs", "500", "-warmup", "100")
+	})
+
+	t.Run("failing trace writer", func(t *testing.T) {
+		if _, err := os.Stat("/dev/full"); err != nil {
+			t.Skip("/dev/full unavailable")
+		}
+		out := runExpectExit(t, 1, bin("mcsim"), "-policy", "LS", "-util", "0.4",
+			"-jobs", "2000", "-warmup", "200", "-trace", "/dev/full")
+		if !strings.Contains(out, "writing trace") {
+			t.Errorf("full-disk trace error not surfaced:\n%s", out)
+		}
+		out = runExpectExit(t, 1, bin("mcreplay"), "-policy", "LS", "-limit", "16",
+			"-trace", "/dev/full")
+		if !strings.Contains(out, "writing trace") {
+			t.Errorf("mcreplay full-disk trace error not surfaced:\n%s", out)
 		}
 	})
 

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"os"
 
+	"coalloc/internal/cliutil"
+	"coalloc/internal/dectrace"
 	"coalloc/internal/experiments"
 	"coalloc/internal/obs"
 )
@@ -39,6 +41,7 @@ func main() {
 	retryCap := flag.Float64("retry-cap", 0, "resubmit backoff cap in s (0 = 600 s default)")
 	ckptInterval := flag.Float64("checkpoint-interval", 0, "checkpoint interval in s for the faults experiment (0 = no checkpointing; the checkpoint experiment sweeps its own grid)")
 	lookahead := flag.Int("lookahead", 0, "conservative-backfilling reservation bound (0 = default 32; must be >= 1)")
+	decisions := flag.Bool("decisions", false, "record scheduling decisions with counterfactual regret in every simulation run (regret aggregates land in the results; the regret experiment enables this by itself)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: mcexp [flags] <experiment>...|all|list\n\nexperiments:\n")
@@ -78,8 +81,6 @@ func main() {
 	}{
 		{"-mttr", *mttr},
 		{"-mtbf", *mtbf},
-		{"-retry-base", *retryBase},
-		{"-retry-cap", *retryCap},
 		{"-checkpoint-interval", *ckptInterval},
 	} {
 		if f.value < 0 || f.value != f.value {
@@ -87,21 +88,38 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	if *retryCap > 0 && *retryCap < max(*retryBase, 10) {
-		fmt.Fprintf(os.Stderr, "mcexp: -retry-cap %g is below the retry base %g\n",
-			*retryCap, max(*retryBase, 10))
-		os.Exit(2)
-	}
+	cliutil.CheckRetryWindow("mcexp", *retryBase, *retryCap)
 	params.FaultMTTR = *mttr
 	params.FaultMTBF = *mtbf
 	params.FaultRetryBase = *retryBase
 	params.FaultRetryCap = *retryCap
 	params.FaultCheckpointInterval = *ckptInterval
-	if *lookahead != 0 && *lookahead < 1 {
-		fmt.Fprintf(os.Stderr, "mcexp: -lookahead %d must be >= 1\n", *lookahead)
-		os.Exit(2)
+
+	// -lookahead and -decisions only act on experiments that run the
+	// matching simulations; accepted-but-inert flags would read as a
+	// measurement of a configuration that never ran. An unknown
+	// experiment name disables the applicability checks — the run loop
+	// rejects the name itself with the full list.
+	anyCons, anySims, anyUnknown := false, false, false
+	for _, name := range flag.Args() {
+		switch {
+		case name == "all":
+			anyCons, anySims = true, true
+		case !experiments.Known(name):
+			anyUnknown = true
+		default:
+			anyCons = anyCons || experiments.UsesConservative(name)
+			anySims = anySims || experiments.UsesSimulations(name)
+		}
 	}
+	cliutil.CheckLookahead("mcexp", *lookahead, anyCons || anyUnknown,
+		"none of the requested experiments run a conservative-backfilling policy (backfill, faults, checkpoint do)")
+	cliutil.CheckDecisions("mcexp", *decisions, anySims || anyUnknown,
+		"none of the requested experiments run simulations")
 	params.Lookahead = *lookahead
+	if *decisions {
+		params.Decisions = &dectrace.Options{}
+	}
 	if *precision < 0 || *precision != *precision {
 		fmt.Fprintf(os.Stderr, "mcexp: -precision %g must be non-negative\n", *precision)
 		os.Exit(2)
@@ -156,5 +174,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mcexp: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	// Close errors are write errors for buffered trace data; unchecked, a
+	// full disk would silently truncate the trace. (Nil-safe: without
+	// -metrics there is no observer.)
+	if err := observer.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "mcexp: writing trace: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -17,15 +17,17 @@ import (
 	"strconv"
 	"strings"
 
+	"coalloc/internal/cliutil"
 	"coalloc/internal/cluster"
 	"coalloc/internal/core"
+	"coalloc/internal/dectrace"
 	"coalloc/internal/faults"
 	"coalloc/internal/obs"
 	"coalloc/internal/workload"
 )
 
 func main() {
-	policy := flag.String("policy", "LS", "scheduling policy: GS, GS-EASY, LS, LS-sorted, LP, SC or SC-EASY")
+	policy := flag.String("policy", "LS", "scheduling policy: GS, GS-EASY, GS-CONS, GS-SPF, LS, LS-sorted, LP, SC, SC-EASY or SC-CONS")
 	limit := flag.Int("limit", 16, "job-component-size limit (16, 24 or 32 in the paper)")
 	util := flag.Float64("util", 0.5, "offered gross utilization")
 	jobs := flag.Int("jobs", 30000, "measured jobs")
@@ -46,6 +48,7 @@ func main() {
 	ckptInterval := flag.Float64("checkpoint-interval", 0, "checkpoint interval for killed jobs in s (0 = no checkpointing; requires -mtbf)")
 	satCutoff := flag.Bool("saturation-cutoff", false, "stop a saturated run at the first provable divergence checkpoint instead of the full horizon (non-saturated runs are unaffected)")
 	metrics := flag.Bool("metrics", false, "print a metrics summary block after the results")
+	decisions := flag.Bool("decisions", false, "record every scheduling decision with its unchosen alternatives and counterfactual regret (adds decision records to -trace and regret lines to the results)")
 	tracePath := flag.String("trace", "", "write a JSONL event trace to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
@@ -105,9 +108,12 @@ func main() {
 		weights = core.Unbalanced(len(clusterSizes))
 	}
 
-	if *lookahead != 0 && *lookahead < 1 {
-		fatalf("-lookahead %d must be >= 1", *lookahead)
-	}
+	conservative := *policy == "GS-CONS" || *policy == "SC-CONS"
+	cliutil.CheckLookahead("mcsim", *lookahead, conservative,
+		fmt.Sprintf("policy %s takes no reservation bound (want GS-CONS or SC-CONS)", *policy))
+	cliutil.CheckDecisions("mcsim", *decisions, !*backlog,
+		"constant-backlog runs measure capacity, not per-job scheduling")
+	cliutil.CheckRetryWindow("mcsim", *retryBase, *retryCap)
 
 	if *ckptInterval != 0 && *mtbf <= 0 {
 		fatalf("-checkpoint-interval %g without -mtbf: checkpointing only matters when failures can kill jobs", *ckptInterval)
@@ -115,6 +121,11 @@ func main() {
 	if *backlog {
 		if *mtbf > 0 {
 			fatalf("-mtbf cannot be combined with -backlog (constant-backlog runs measure reliable-hardware capacity)")
+		}
+		// These outputs only exist for open-system runs; accepting the
+		// flags here would silently drop them.
+		if *metrics || *tracePath != "" {
+			cliutil.Failf("mcsim", "-metrics and -trace cannot be combined with -backlog (constant-backlog runs have no observer)")
 		}
 		res, err := core.RunBacklog(core.BacklogConfig{
 			ClusterSizes: clusterSizes,
@@ -154,6 +165,9 @@ func main() {
 		Lookahead:    *lookahead,
 
 		SaturationCutoff: *satCutoff,
+	}
+	if *decisions {
+		cfg.Decisions = &dectrace.Options{}
 	}
 	if *mtbf > 0 {
 		cfg.Faults = &faults.Spec{
@@ -213,6 +227,15 @@ func main() {
 	fmt.Printf("saturated           %v\n", res.Saturated)
 	if res.TruncatedJobs > 0 {
 		fmt.Printf("jobs truncated      %d (divergence cutoff stopped the run early)\n", res.TruncatedJobs)
+	}
+	if *decisions {
+		fmt.Printf("decisions recorded  %d\n", res.Decisions)
+		meanRegret := 0.0
+		if res.Jobs > 0 {
+			meanRegret = res.RegretTotal / float64(res.Jobs)
+		}
+		fmt.Printf("regret              %.1f s/job (%d dispatches with regret, max %.0f s)\n",
+			meanRegret, res.RegretDecisions, res.RegretMax)
 	}
 	if *mtbf > 0 {
 		fmt.Printf("failures injected   %d (skipped %d, repairs %d)\n",

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"coalloc/internal/cluster"
+	"coalloc/internal/dectrace"
 	"coalloc/internal/obs"
 	"coalloc/internal/policies"
 	"coalloc/internal/rng"
@@ -169,6 +170,9 @@ func (s *backlogSim) Now() float64 { return s.eng.Now() }
 // Obs returns nil: backlog runs are short calibration sweeps with no
 // observability wiring.
 func (s *backlogSim) Obs() *obs.Observer { return nil }
+
+// Dec returns nil: backlog runs have no decision tracing either.
+func (s *backlogSim) Dec() *dectrace.Tracer { return nil }
 
 func (s *backlogSim) Scratch() *policies.Scratch { return s.scratch }
 

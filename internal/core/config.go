@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"coalloc/internal/cluster"
+	"coalloc/internal/dectrace"
 	"coalloc/internal/faults"
 	"coalloc/internal/obs"
 	"coalloc/internal/policies"
@@ -94,6 +95,14 @@ type Config struct {
 	// still rejects the combination for any future policy that does not
 	// implement policies.FaultAware.
 	Faults *faults.Spec
+	// Decisions, when non-nil, enables the decision-trace layer (package
+	// dectrace): every dispatch, head miss, reservation and backfill
+	// rejection is recorded with its unchosen alternatives, regret
+	// aggregates land in Result, and — with an Observer attached —
+	// decision records flow into the JSONL trace. Nil keeps the run
+	// bit-identical to a build without the layer (the disabled path is
+	// one pointer compare per hook), pinned by a guardrail test.
+	Decisions *dectrace.Options
 }
 
 func (c *Config) applyDefaults() {
@@ -336,4 +345,16 @@ type Result struct {
 	// not down over the measurement window; 1 exactly when faults are
 	// disabled.
 	MeanAvailableFraction float64
+	// Decision-trace aggregates (zero when Config.Decisions is nil; merged
+	// replications sum them, except RegretMax which takes the maximum).
+	// Decisions counts recorded decision records of every kind.
+	Decisions int
+	// RegretTotal is the summed per-job regret over dispatches: seconds a
+	// job waited beyond the earliest start an unchosen alternative
+	// placement offered it (see package dectrace).
+	RegretTotal float64
+	// RegretMax is the largest single-dispatch regret.
+	RegretMax float64
+	// RegretDecisions counts dispatches with nonzero regret.
+	RegretDecisions int
 }

@@ -10,6 +10,7 @@ import (
 
 	"coalloc/internal/cluster"
 	"coalloc/internal/dastrace"
+	"coalloc/internal/dectrace"
 	"coalloc/internal/obs"
 	"coalloc/internal/policies"
 	"coalloc/internal/rng"
@@ -280,6 +281,10 @@ func (s *replaySim) Cluster() *cluster.Multicluster { return s.m }
 func (s *replaySim) Now() float64 { return s.eng.Now() }
 
 func (s *replaySim) Obs() *obs.Observer { return s.obs }
+
+// Dec returns nil: replay runs re-execute a recorded schedule and record no
+// new decisions.
+func (s *replaySim) Dec() *dectrace.Tracer { return nil }
 
 func (s *replaySim) Scratch() *policies.Scratch { return s.scratch }
 

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"coalloc/internal/cluster"
+	"coalloc/internal/dectrace"
 	"coalloc/internal/dist"
 	"coalloc/internal/obs"
 	"coalloc/internal/policies"
@@ -45,6 +46,8 @@ type simulation struct {
 	pol     policies.Policy
 	spec    workload.Spec
 	obs     *obs.Observer
+	dec     *dectrace.Tracer
+	fit     cluster.Fit
 	arena   *workload.Arena
 	scratch *policies.Scratch
 
@@ -114,6 +117,10 @@ func (s *simulation) Now() float64 { return s.eng.Now() }
 // (policies.Ctx).
 func (s *simulation) Obs() *obs.Observer { return s.obs }
 
+// Dec returns the run's decision tracer, nil when decision tracing is off
+// (policies.Ctx).
+func (s *simulation) Dec() *dectrace.Tracer { return s.dec }
+
 // Scratch returns the run's shared scheduling buffers (policies.Ctx).
 func (s *simulation) Scratch() *policies.Scratch { return s.scratch }
 
@@ -132,6 +139,10 @@ func (s *simulation) Dispatch(j *workload.Job, placement []int) {
 		// only if it actually spans clusters.
 		j.FinalizeFlexible(j.Components, s.spec.ExtensionFactor)
 	}
+	// The tracer must see the pre-allocation idle vector — the exact state
+	// the policy placed against — so the hook precedes Alloc. Nil-safe:
+	// without -decisions this is one pointer compare.
+	s.dec.Dispatch(now, j, s.m, s.fit, placement)
 	s.m.Alloc(j.Components, placement)
 	s.busy.Set(now, float64(s.m.Busy()))
 	for i, c := range placement {
@@ -378,6 +389,12 @@ func newSimulation(cfg Config) (*simulation, error) {
 		s.flt = newFaultState(*cfg.Faults, len(cfg.ClusterSizes), src)
 		s.faultPol = pol.(policies.FaultAware)
 	}
+	s.fit = cfg.Fit
+	if cfg.Decisions != nil {
+		// Each run owns its tracer, so parallel replications never share
+		// one; aggregates are folded into Result at the end of Run.
+		s.dec = dectrace.New(*cfg.Decisions)
+	}
 	tr := cfg.Trace
 	if tr == nil && cfg.TraceProvider != nil {
 		tr = cfg.TraceProvider(cfg.Seed)
@@ -398,6 +415,12 @@ func newSimulation(cfg Config) (*simulation, error) {
 		s.obs.SetClock(s.eng.Now)
 		if setter, ok := pol.(policies.ObserverSetter); ok {
 			setter.SetObserver(s.obs)
+		}
+		// With both tracing and observability on, decision records flow
+		// into the run's JSONL trace and metrics. The observer serializes
+		// the record synchronously, as the sink contract requires.
+		if s.dec != nil {
+			s.dec.SetSink(s.obs.Decision)
 		}
 	}
 	return s, nil
@@ -471,6 +494,12 @@ func Run(cfg Config) (Result, error) {
 			max = math.Max(max, u)
 		}
 		res.UtilizationImbalance = max - min
+	}
+	if s.dec != nil {
+		res.Decisions = s.dec.Decisions
+		res.RegretTotal = s.dec.RegretTotal
+		res.RegretMax = s.dec.RegretMax
+		res.RegretDecisions = s.dec.RegretDecisions
 	}
 	res.MeanAvailableFraction = 1
 	if s.flt != nil {
@@ -606,6 +635,12 @@ func mergeReplications(results []Result) Result {
 		merged.Resubmits += r.Resubmits
 		merged.WorkLost += r.WorkLost
 		merged.WorkSaved += r.WorkSaved
+		merged.Decisions += r.Decisions
+		merged.RegretTotal += r.RegretTotal
+		if r.RegretMax > merged.RegretMax {
+			merged.RegretMax = r.RegretMax
+		}
+		merged.RegretDecisions += r.RegretDecisions
 		availFrac.Add(r.MeanAvailableFraction)
 		resp.Add(r.MeanResponse)
 		if !math.IsNaN(r.MeanResponseLocal) {

@@ -128,6 +128,7 @@ var DeterministicPackages = []string{
 	"internal/cluster",
 	"internal/core",
 	"internal/dastrace",
+	"internal/dectrace",
 	"internal/dist",
 	"internal/experiments",
 	"internal/obs",

@@ -13,6 +13,7 @@ import (
 
 	"coalloc/internal/cluster"
 	"coalloc/internal/core"
+	"coalloc/internal/dectrace"
 	"coalloc/internal/dist"
 	"coalloc/internal/faults"
 	"coalloc/internal/obs"
@@ -109,6 +110,12 @@ type Params struct {
 	// sampler draw for draw — pinned by the sweep guardrail test), so
 	// this exists as an ablation/debugging switch, not a fidelity knob.
 	PerPolicyWorkload bool
+	// Decisions, when non-nil, enables decision tracing (core
+	// Config.Decisions) for every sweep run: regret aggregates land in
+	// each point's Result. The regret experiment forces this on for its
+	// own sweep; nil everywhere else keeps all runs bit-identical to a
+	// build without the dectrace layer.
+	Decisions *dectrace.Options
 }
 
 // DefaultParams returns publication-fidelity settings.
@@ -355,6 +362,7 @@ func (e *Env) pointConfig(cs CurveSpec, util float64) core.Config {
 		Observer:         e.Observer,
 		Lookahead:        e.Lookahead,
 		SaturationCutoff: e.SaturationCutoff,
+		Decisions:        e.Decisions,
 	}
 	if !e.PerPolicyWorkload && cfg.RequestType == workload.Unordered {
 		cfg.TraceProvider = e.traces.provider(cfg)

@@ -27,7 +27,7 @@ func TestRegistryNames(t *testing.T) {
 	names := Names()
 	want := []string{"backfill", "checkpoint", "discipline", "extsweep", "faults", "fig1",
 		"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fits", "ratio", "reenable",
-		"reqtypes", "sizeclasses", "table1", "table2", "table3", "workload"}
+		"regret", "reqtypes", "sizeclasses", "table1", "table2", "table3", "workload"}
 	if len(names) != len(want) {
 		t.Fatalf("names = %v", names)
 	}
@@ -447,5 +447,93 @@ func TestSweepSharedTraceMatchesPerPolicy(t *testing.T) {
 					a.Name, i, a.X[i], a.Y[i], b.X[i], b.Y[i])
 			}
 		}
+	}
+}
+
+func TestRegistryMetadata(t *testing.T) {
+	if Known("nope") {
+		t.Error("Known accepted an unregistered name")
+	}
+	if UsesSimulations("nope") || UsesConservative("nope") {
+		t.Error("unknown experiment claims flag applicability")
+	}
+	for _, n := range []string{"fig3", "fig5", "regret", "backfill"} {
+		if !Known(n) || !UsesSimulations(n) {
+			t.Errorf("%s should be a known simulation experiment", n)
+		}
+	}
+	for _, n := range []string{"table1", "fig1", "ratio", "workload"} {
+		if UsesSimulations(n) {
+			t.Errorf("%s runs no simulations but claims -decisions applies", n)
+		}
+	}
+	for _, n := range []string{"backfill", "faults", "checkpoint"} {
+		if !UsesConservative(n) {
+			t.Errorf("%s runs GS-CONS but claims -lookahead does not apply", n)
+		}
+	}
+	if UsesConservative("fig3") || UsesConservative("regret") {
+		t.Error("non-backfilling experiments claim -lookahead applies")
+	}
+}
+
+func TestRankSummaryNeverStable(t *testing.T) {
+	stable := plot.Series{Name: "ok", X: []float64{0.2, 0.4}, Y: []float64{10, 20}}
+
+	// A curve whose very first grid point was a saturation terminator has
+	// no stable points at all; it must rank as "never stable", not 0.00.
+	allSat := plot.Series{Name: "sat", X: []float64{0.2}, Y: []float64{50000}, Saturated: true}
+	out := rankSummary([]plot.Series{stable, allSat})
+	if !strings.Contains(out, "ok 0.40") {
+		t.Errorf("stable curve misranked: %q", out)
+	}
+	if !strings.Contains(out, "sat never stable") {
+		t.Errorf("all-saturated curve not reported as never stable: %q", out)
+	}
+	if strings.Contains(out, "sat 0.00") {
+		t.Errorf("all-saturated curve got a fabricated rank: %q", out)
+	}
+
+	// Every measured response above the plot cap: also never stable.
+	overCap := plot.Series{Name: "cap", X: []float64{0.2, 0.4}, Y: []float64{20000, 30000}}
+	if out := rankSummary([]plot.Series{overCap}); !strings.Contains(out, "cap never stable") {
+		t.Errorf("over-cap curve not reported as never stable: %q", out)
+	}
+
+	// Degenerate: a marked-saturated series with zero points must not
+	// panic on the terminator slice.
+	empty := plot.Series{Name: "empty", Saturated: true}
+	if out := rankSummary([]plot.Series{empty}); !strings.Contains(out, "empty never stable") {
+		t.Errorf("empty saturated curve: %q", out)
+	}
+}
+
+func TestRegretExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	dir := t.TempDir()
+	p := tinyParams()
+	p.Utilizations = []float64{0.3, 0.6}
+	p.DataDir = dir
+	env := NewEnv(p)
+	out, err := Run("regret", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"Regret —", "mean regret per job", "GS 128", "LS 64"} {
+		if !strings.Contains(out, w) {
+			t.Errorf("regret output missing %q", w)
+		}
+	}
+	if env.Decisions != nil {
+		t.Error("regret experiment leaked Decisions into the shared Env")
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "regret.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "GS 128") {
+		t.Errorf("regret.csv missing series header: %s", data)
 	}
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"coalloc/internal/core"
@@ -115,7 +116,10 @@ func Fig3(e *Env) (string, error) {
 // legends. A saturation terminator never ranks as stable, no matter what
 // partial response it measured: its values depend on how far the
 // diverging run was allowed to proceed (the saturation cutoff stops it
-// early), and "max stable" must be horizon-independent.
+// early), and "max stable" must be horizon-independent. A curve with no
+// stable point at all — its very first grid point was a saturation
+// terminator, or every measured response exceeded the plot cap — gets an
+// explicit "never stable" entry rather than a fabricated 0.00.
 func rankSummary(panel []plot.Series) string {
 	var b strings.Builder
 	b.WriteString("max stable gross utilization: ")
@@ -124,16 +128,20 @@ func rankSummary(panel []plot.Series) string {
 			b.WriteString(", ")
 		}
 		stable := s.Y
-		if s.Saturated {
+		if s.Saturated && len(stable) > 0 {
 			stable = stable[:len(stable)-1]
 		}
-		last := 0.0
+		last := math.NaN()
 		for j, y := range stable {
 			if y <= 10000 {
 				last = s.X[j]
 			}
 		}
-		fmt.Fprintf(&b, "%s %.2f", s.Name, last)
+		if math.IsNaN(last) {
+			fmt.Fprintf(&b, "%s never stable", s.Name)
+		} else {
+			fmt.Fprintf(&b, "%s %.2f", s.Name, last)
+		}
 	}
 	b.WriteString("\n")
 	return b.String()

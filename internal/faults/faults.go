@@ -111,14 +111,25 @@ func (s Spec) Checkpointed(progress float64) float64 {
 }
 
 // Backoff returns the resubmission delay after a job's retry-th abort
-// (1-based): RetryBase doubling per retry, capped at RetryCap. The
-// doubling uses Ldexp, so very large retry counts saturate at the cap
-// instead of overflowing.
+// (1-based): RetryBase doubling per retry, capped at RetryCap. Retry
+// defaults are applied first — on a spec that skipped Normalized, a zero
+// cap would otherwise clamp every backoff to zero.
+//
+// The doubling uses Ldexp with the exponent clamped to the float64
+// range, so very large retry counts saturate at the cap. The clamp is
+// load-bearing: Ldexp adds the exponent to the base's own exponent with
+// plain int arithmetic, so an exponent near MaxInt wraps negative and
+// returns 0 — an unbounded retry storm with zero delay.
 func (s Spec) Backoff(retry int) float64 {
+	s = s.Normalized()
 	if retry < 1 {
 		retry = 1
 	}
-	d := math.Ldexp(s.RetryBase, retry-1)
+	e := retry - 1
+	if e > 2098 { // smallest subnormal (2^-1074) doubled this often is +Inf
+		return s.RetryCap
+	}
+	d := math.Ldexp(s.RetryBase, e)
 	if !(d < s.RetryCap) { // catches overflow to +Inf too
 		return s.RetryCap
 	}

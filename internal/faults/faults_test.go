@@ -34,7 +34,12 @@ func TestSpecValidate(t *testing.T) {
 		{"missing MTTR", Spec{MTBF: 1000}, false},
 		{"negative MTTR", Spec{MTBF: 1000, MTTR: -1}, false},
 		{"cap below base", Spec{MTBF: 1000, MTTR: 900, RetryBase: 100, RetryCap: 10}, false},
+		{"explicit base above defaulted cap", Spec{MTBF: 1000, MTTR: 900, RetryBase: 700}, false},
+		{"explicit cap below defaulted base", Spec{MTBF: 1000, MTTR: 900, RetryCap: 5}, false},
+		{"base equals cap", Spec{MTBF: 1000, MTTR: 900, RetryBase: 50, RetryCap: 50}, true},
 		{"negative base", Spec{MTBF: 1000, MTTR: 900, RetryBase: -1}, false},
+		{"NaN base", Spec{MTBF: 1000, MTTR: 900, RetryBase: math.NaN()}, false},
+		{"infinite cap", Spec{MTBF: 1000, MTTR: 900, RetryCap: math.Inf(1)}, false},
 		{"checkpointing", Spec{MTBF: 1000, MTTR: 900, CheckpointInterval: 300}, true},
 		{"negative checkpoint interval", Spec{MTBF: 1000, MTTR: 900, CheckpointInterval: -1}, false},
 		{"NaN checkpoint interval", Spec{MTBF: 1000, MTTR: 900, CheckpointInterval: math.NaN()}, false},
@@ -58,14 +63,49 @@ func TestBackoffDoublesAndCaps(t *testing.T) {
 	if got := s.Backoff(0); got != 10 {
 		t.Errorf("Backoff(0) = %g, want the base", got)
 	}
-	// Huge retry counts must saturate at the cap, not overflow.
-	if got := s.Backoff(5000); got != 600 {
-		t.Errorf("Backoff(5000) = %g, want 600", got)
+	// Huge retry counts must saturate at the cap, not overflow: Ldexp
+	// with these exponents is +Inf, which the cap comparison absorbs.
+	for _, retry := range []int{5000, 1 << 40, math.MaxInt} {
+		got := s.Backoff(retry)
+		if got != 600 {
+			t.Errorf("Backoff(%d) = %g, want 600", retry, got)
+		}
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("Backoff(%d) = %g escaped the cap", retry, got)
+		}
 	}
 	// Nonsensical retry counts clamp to the first-retry base.
-	if got := s.Backoff(-3); got != 10 {
-		t.Errorf("Backoff(-3) = %g, want the base", got)
+	for _, retry := range []int{0, -3, math.MinInt} {
+		if got := s.Backoff(retry); got != 10 {
+			t.Errorf("Backoff(%d) = %g, want the base", retry, got)
+		}
 	}
+	// A spec that skipped Normalized still backs off with the defaults —
+	// a raw zero cap must not clamp every delay to zero.
+	raw := Spec{MTBF: 1000, MTTR: 900}
+	if got := raw.Backoff(1); got != 10 {
+		t.Errorf("un-normalized Backoff(1) = %g, want the 10 s default base", got)
+	}
+	if got := raw.Backoff(100); got != 600 {
+		t.Errorf("un-normalized Backoff(100) = %g, want the 600 s default cap", got)
+	}
+	// Base equal to cap saturates immediately and stays there.
+	flat := Spec{MTBF: 1000, MTTR: 900, RetryBase: 600, RetryCap: 600}
+	if got := flat.Backoff(1); got != 600 {
+		t.Errorf("flat-window Backoff(1) = %g, want 600", got)
+	}
+}
+
+func TestNewInjectorRejectsEmptyRetryWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewInjector accepted a base above the defaulted cap")
+		}
+	}()
+	// RetryCap defaults to 600 s, below the explicit 700 s base: every
+	// construction path must reject the empty window, not silently run
+	// with cap < base.
+	NewInjector(Spec{MTBF: 1000, MTTR: 900, RetryBase: 700}, 2, rng.NewSource(1))
 }
 
 // TestCheckpointedArithmetic pins the floor-to-multiple rule and its two

@@ -1,6 +1,10 @@
 package obs
 
-import "io"
+import (
+	"io"
+
+	"coalloc/internal/dectrace"
+)
 
 // Observer is one run's observability hub. Every method is safe on a nil
 // receiver and does nothing, so simulation code reports unconditionally
@@ -52,6 +56,10 @@ type Observer struct {
 	// byte-identical with the monitor on.
 	cutoffFired *Counter
 	cutoffTrunc *Counter
+
+	// decisions is lazy too: runs without decision tracing must keep
+	// their summary block bit-identical to builds predating dectrace.
+	decisions *Counter
 
 	// Fault metrics are registered lazily, on the first fault event of a
 	// run: WriteText prints every registered metric, so eager
@@ -247,6 +255,24 @@ func (o *Observer) SaturationCutoff(truncated int) {
 	o.cutoffFired.Inc()
 	if truncated > 0 {
 		o.cutoffTrunc.Add(uint64(truncated))
+	}
+}
+
+// Decision records one dectrace decision record: a lazily registered
+// counter (runs without decision tracing keep their summary block
+// unchanged) and, when tracing, the JSONL decision record. The record's
+// slices alias tracer scratch; Trace.Decision serializes them before
+// returning. Wired as the tracer's sink by core.
+func (o *Observer) Decision(r *dectrace.Record) {
+	if o == nil {
+		return
+	}
+	if o.decisions == nil {
+		o.decisions = o.Metrics.Counter("sched.decisions")
+	}
+	o.decisions.Inc()
+	if o.trace != nil {
+		o.trace.Decision(r)
 	}
 }
 

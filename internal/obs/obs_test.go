@@ -5,6 +5,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"coalloc/internal/dectrace"
 )
 
 func TestNilObserverIsSafe(t *testing.T) {
@@ -217,4 +219,88 @@ func TestObserverClockTimestampsTransitions(t *testing.T) {
 	if got, want := buf.String(), `{"t":42.5,"ev":"disable","queue":3}`+"\n"; got != want {
 		t.Errorf("got %q want %q", got, want)
 	}
+}
+
+func TestDecisionTraceBytes(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTrace(&buf)
+	tr.Decision(&dectrace.Record{
+		T: 300, Kind: dectrace.KindDispatch, Job: 4, Queue: -1,
+		Start: 300, Place: []int{0, 2}, Regret: 23.5,
+		Alts: []dectrace.Alt{
+			{Rule: "FF", Start: 300, Place: []int{0, 1}},
+			{Rule: "BF", Start: 301.5},
+		},
+	})
+	// Miss-kind records name no start (it is +Inf) and no placement;
+	// regret is a dispatch-only field.
+	tr.Decision(&dectrace.Record{
+		T: 310, Kind: dectrace.KindHeadMiss, Job: 5, Queue: 2,
+		Start: math.Inf(1), Regret: 99, // Regret must not leak into the record
+		Alts: []dectrace.Alt{{Rule: "cluster", Start: 310, Place: []int{3}}},
+	})
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"t":300,"ev":"decision","kind":"dispatch","job":4,"queue":-1,"start":300,"place":[0,2],"regret":23.5,"alts":[{"rule":"FF","start":300,"place":[0,1]},{"rule":"BF","start":301.5}]}
+{"t":310,"ev":"decision","kind":"headmiss","job":5,"queue":2,"alts":[{"rule":"cluster","start":310,"place":[3]}]}
+`
+	if got := buf.String(); got != want {
+		t.Errorf("decision bytes:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestDecisionStickyWriteError(t *testing.T) {
+	tr := NewTrace(&failWriter{n: 8})
+	rec := dectrace.Record{T: 1, Kind: dectrace.KindDispatch, Job: 1, Start: 1, Place: []int{0}}
+	for i := 0; i < 100000; i++ {
+		rec.T = float64(i)
+		tr.Decision(&rec)
+	}
+	if err := tr.Flush(); err == nil {
+		t.Fatal("Flush swallowed the decision-path write error")
+	}
+	if tr.Err() == nil {
+		t.Fatal("Err lost the sticky error")
+	}
+}
+
+func TestObserverDecisionLazyMetricAndClose(t *testing.T) {
+	// Without any decision, the summary block must not mention the
+	// counter — runs without tracing stay bit-identical.
+	o := New(nil)
+	o.Arrival(0, 1, 16, []int{16}, 0)
+	var before bytes.Buffer
+	if err := o.WriteText(&before); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(before.String(), "sched.decisions") {
+		t.Error("sched.decisions registered without any decision")
+	}
+
+	rec := dectrace.Record{T: 1, Kind: dectrace.KindDispatch, Job: 1, Start: 1, Place: []int{0}}
+	o.Decision(&rec)
+	o.Decision(&rec)
+	var after bytes.Buffer
+	if err := o.WriteText(&after); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(after.String(), "sched.decisions") {
+		t.Error("sched.decisions missing after decisions were recorded")
+	}
+
+	// A failing trace writer must surface through Observer.Close — the
+	// commands exit nonzero on it instead of truncating silently.
+	fo := New(&failWriter{n: 8})
+	for i := 0; i < 100000; i++ {
+		rec.T = float64(i)
+		fo.Decision(&rec)
+	}
+	if err := fo.Close(); err == nil {
+		t.Fatal("Observer.Close swallowed the decision write error")
+	}
+
+	// Nil-safety of the decision path.
+	var nilObs *Observer
+	nilObs.Decision(&rec)
 }

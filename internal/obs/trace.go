@@ -3,7 +3,10 @@ package obs
 import (
 	"bufio"
 	"io"
+	"math"
 	"strconv"
+
+	"coalloc/internal/dectrace"
 )
 
 // Trace is the structured JSONL event sink: one JSON object per line,
@@ -19,6 +22,7 @@ import (
 //	{"t":276.5,"ev":"depart","job":1,"resp":276.5}
 //	{"t":276.5,"ev":"disable","queue":1}
 //	{"t":300,"ev":"enable","queue":1}
+//	{"t":300,"ev":"decision","kind":"dispatch","job":4,"queue":-1,"start":300,"place":[0,2],"regret":23.5,"alts":[{"rule":"FF","start":300,"place":[0,1]}]}
 //
 // Write errors are sticky: the first error is remembered, later records
 // are dropped, and Flush (or Observer.Close) reports it — a full disk
@@ -161,6 +165,61 @@ func (t *Trace) Kill(at float64, job int64, cluster int, lost, saved float64) {
 	t.fieldInt("cluster", int64(cluster))
 	t.fieldFloat("lost", lost)
 	t.fieldFloat("saved", saved)
+	t.emit()
+}
+
+// fieldStr emits a string field. Values come from fixed in-code vocabularies
+// (record kinds, fit-rule names), so no JSON escaping is needed.
+func (t *Trace) fieldStr(name, v string) {
+	t.buf = append(t.buf, ',', '"')
+	t.buf = append(t.buf, name...)
+	t.buf = append(t.buf, '"', ':', '"')
+	t.buf = append(t.buf, v...)
+	t.buf = append(t.buf, '"')
+}
+
+// Decision records one scheduling decision from the dectrace layer: the
+// kind, the chosen start/placement where the decision names one, the
+// resolved regret for dispatches, and the unchosen alternatives. The
+// record and its slices alias tracer scratch, so the bytes are serialized
+// here, synchronously.
+func (t *Trace) Decision(r *dectrace.Record) {
+	t.begin(r.T, "decision")
+	t.fieldStr("kind", r.Kind)
+	t.fieldInt("job", r.Job)
+	t.fieldInt("queue", int64(r.Queue))
+	if !math.IsInf(r.Start, 1) {
+		t.fieldFloat("start", r.Start)
+	}
+	if r.Place != nil {
+		t.fieldInts("place", r.Place)
+	}
+	if r.Kind == dectrace.KindDispatch {
+		t.fieldFloat("regret", r.Regret)
+	}
+	t.buf = append(t.buf, `,"alts":[`...)
+	for i := range r.Alts {
+		a := &r.Alts[i]
+		if i > 0 {
+			t.buf = append(t.buf, ',')
+		}
+		t.buf = append(t.buf, `{"rule":"`...)
+		t.buf = append(t.buf, a.Rule...)
+		t.buf = append(t.buf, `","start":`...)
+		t.buf = strconv.AppendFloat(t.buf, a.Start, 'g', -1, 64)
+		if a.Place != nil {
+			t.buf = append(t.buf, `,"place":[`...)
+			for j, c := range a.Place {
+				if j > 0 {
+					t.buf = append(t.buf, ',')
+				}
+				t.buf = strconv.AppendInt(t.buf, int64(c), 10)
+			}
+			t.buf = append(t.buf, ']')
+		}
+		t.buf = append(t.buf, '}')
+	}
+	t.buf = append(t.buf, ']')
 	t.emit()
 }
 

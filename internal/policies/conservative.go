@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"coalloc/internal/cluster"
+	"coalloc/internal/dectrace"
 	"coalloc/internal/queues"
 	"coalloc/internal/workload"
 )
@@ -369,6 +370,9 @@ func (p *Conservative) evalFast(ctx Ctx, m *cluster.Multicluster, prof *profile,
 		return
 	}
 	dur := j.RemainingTime()
+	if dt := ctx.Dec(); dt != nil {
+		p.probeAlts(dt, prof, j, dur)
+	}
 	t, placement := prof.earliestStart(j.Components, dur, p.fit)
 	if math.IsInf(t, 1) {
 		p.appendResv(j, t, 0, nil, nc)
@@ -389,6 +393,26 @@ func (p *Conservative) evalFast(ctx Ctx, m *cluster.Multicluster, prof *profile,
 		s.Started = append(s.Started, j)
 	} else {
 		p.appendResv(j, t, dur, placement, nc)
+		ctx.Dec().Reserve(now, j, t, placement)
+	}
+}
+
+// probeAlts accumulates, as reservation alternatives, the starts the
+// unchosen fit rules find on the same working profile the chosen
+// reservation is about to be derived from. Every probed placement lives in
+// profile scratch and is clobbered by the next earliestStart query — AddAlt
+// copies it immediately, and the probes run before the chosen query for the
+// same reason. The probes only read the profile, so the chosen derivation
+// is unchanged (the tracing-enabled guardrail pins this).
+func (p *Conservative) probeAlts(dt *dectrace.Tracer, prof *profile, j *workload.Job, dur float64) {
+	dt.BeginAlts()
+	for _, f := range dectrace.FitRules {
+		if f == p.fit {
+			continue
+		}
+		if t, place := prof.earliestStart(j.Components, dur, f); !math.IsInf(t, 1) {
+			dt.AddAlt(f.String(), t, place)
+		}
 	}
 }
 
@@ -672,6 +696,9 @@ func (p *Conservative) pass(ctx Ctx) {
 			return true
 		}
 		dur := j.RemainingTime()
+		if dt := ctx.Dec(); dt != nil {
+			p.probeAlts(dt, prof, j, dur)
+		}
 		t, placement := prof.earliestStart(j.Components, dur, p.fit)
 		if math.IsInf(t, 1) {
 			p.appendResv(j, t, 0, nil, nc)
@@ -692,6 +719,7 @@ func (p *Conservative) pass(ctx Ctx) {
 			s.Started = append(s.Started, j)
 		} else {
 			p.appendResv(j, t, dur, placement, nc)
+			ctx.Dec().Reserve(now, j, t, placement)
 		}
 		return true
 	})

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"coalloc/internal/cluster"
+	"coalloc/internal/dectrace"
 	"coalloc/internal/queues"
 	"coalloc/internal/workload"
 )
@@ -172,6 +173,7 @@ func (p *EASY) pass(ctx Ctx) {
 		}
 		if !m.PlaceInto(head.Components, p.fit, s.Place, s.Used) {
 			o.HeadMiss(workload.GlobalQueue)
+			ctx.Dec().HeadMiss(ctx.Now(), head, m, p.fit)
 			break
 		}
 		p.q.Pop()
@@ -179,12 +181,28 @@ func (p *EASY) pass(ctx Ctx) {
 	}
 	// Phase 2: the head is blocked; compute its reservation.
 	head := p.q.Head()
-	shadow := p.earliestFit(m, head.Components, ctx.Now())
+	shadow := p.earliestFit(m, head.Components, ctx.Now(), p.fit)
 	if math.IsInf(shadow, 1) {
 		// The head can never fit (a component exceeds every cluster);
 		// it blocks the queue forever, exactly as plain FCFS would.
 		p.stuck = true
 		return
+	}
+	if dt := ctx.Dec(); dt != nil {
+		// Record the reservation with the starts the unchosen fit rules
+		// find on the same running-set release schedule. The probes reuse
+		// the earliestFit scratch sequentially, before phase 3 builds the
+		// shadow idle vector.
+		dt.BeginAlts()
+		for _, f := range dectrace.FitRules {
+			if f == p.fit {
+				continue
+			}
+			if at := p.earliestFit(m, head.Components, ctx.Now(), f); !math.IsInf(at, 1) {
+				dt.AddAlt(f.String(), at, nil)
+			}
+		}
+		dt.Reserve(ctx.Now(), head, shadow, nil)
 	}
 	// Phase 3: scan the rest of the queue for backfill candidates.
 	// Pop/re-push is avoided: collect indices to start, then rebuild.
@@ -240,7 +258,8 @@ func (p *EASY) pass(ctx Ctx) {
 		for ci, c := range placement {
 			tmp[c] -= j.Components[ci]
 		}
-		if !p.fitsVector(tmp, head.Components) {
+		if !p.fitsVector(tmp, head.Components, p.fit) {
+			ctx.Dec().BackfillReject(ctx.Now(), j, p.fit, placement)
 			return true
 		}
 		p.start(ctx, j, placement)
@@ -258,13 +277,15 @@ func (p *EASY) pass(ctx Ctx) {
 	}
 }
 
-// earliestFit returns the earliest time the components fit, given the
-// current idle state plus the future releases of the running jobs. It
-// returns +Inf when the components cannot fit even on an empty system.
+// earliestFit returns the earliest time the components fit under the given
+// placement rule, given the current idle state plus the future releases of
+// the running jobs. It returns +Inf when the components cannot fit even on
+// an empty system. The policy's own rule is p.fit; the decision tracer
+// probes the others against the same release schedule.
 //
 // The running set is already sorted by finish time, so the releases are
 // walked in order directly — no per-call sort, no per-call allocation.
-func (p *EASY) earliestFit(m *cluster.Multicluster, comps []int, now float64) float64 {
+func (p *EASY) earliestFit(m *cluster.Multicluster, comps []int, now float64, fit cluster.Fit) float64 {
 	n := m.NumClusters()
 	if cap(p.scrIdle) < n {
 		p.scrIdle = make([]int, n)
@@ -277,7 +298,7 @@ func (p *EASY) earliestFit(m *cluster.Multicluster, comps []int, now float64) fl
 	for c := range idle {
 		idle[c] = m.Idle(c)
 	}
-	if p.fitsVector(idle, comps) {
+	if p.fitsVector(idle, comps, fit) {
 		return now
 	}
 	for i := range p.running {
@@ -285,7 +306,7 @@ func (p *EASY) earliestFit(m *cluster.Multicluster, comps []int, now float64) fl
 		for ci, c := range r.placement {
 			idle[c] += r.comps[ci]
 		}
-		if p.fitsVector(idle, comps) {
+		if p.fitsVector(idle, comps, fit) {
 			return r.finish
 		}
 	}
@@ -296,11 +317,11 @@ func (p *EASY) earliestFit(m *cluster.Multicluster, comps []int, now float64) fl
 // vector — the same rule Multicluster.Place applies, evaluated on a
 // hypothetical state (see placeVectorInto in profile.go). It uses the
 // policy's scratch buffers, which earliestFit sizes before the first call.
-func (p *EASY) fitsVector(idle []int, comps []int) bool {
+func (p *EASY) fitsVector(idle []int, comps []int, fit cluster.Fit) bool {
 	if len(comps) > len(idle) {
 		return false
 	}
-	return placeVectorInto(idle, comps, p.fit, p.scrPlace[:len(comps)], p.scrUsed[:len(idle)])
+	return placeVectorInto(idle, comps, fit, p.scrPlace[:len(comps)], p.scrUsed[:len(idle)])
 }
 
 // Queued returns the queue length.

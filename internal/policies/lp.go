@@ -134,6 +134,7 @@ func (p *LP) pass(ctx Ctx) {
 				} else {
 					p.globalEnabled = false
 					o.HeadMiss(workload.GlobalQueue)
+					ctx.Dec().HeadMiss(ctx.Now(), head, m, p.fit)
 					o.QueueDisabled(workload.GlobalQueue)
 				}
 			}
@@ -151,6 +152,7 @@ func (p *LP) pass(ctx Ctx) {
 				progress = true
 			} else {
 				o.HeadMiss(q)
+				ctx.Dec().LocalMiss(ctx.Now(), head, m, q)
 				p.set.Disable(q)
 			}
 		}

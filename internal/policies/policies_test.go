@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"coalloc/internal/cluster"
+	"coalloc/internal/dectrace"
 	"coalloc/internal/obs"
 	"coalloc/internal/workload"
 )
@@ -15,6 +16,7 @@ type mockCtx struct {
 	dispatched []*workload.Job
 	now        float64
 	obs        *obs.Observer
+	dec        *dectrace.Tracer
 }
 
 func newMockCtx(sizes ...int) *mockCtx {
@@ -29,6 +31,8 @@ func (c *mockCtx) Cluster() *cluster.Multicluster { return c.m }
 func (c *mockCtx) Now() float64 { return c.now }
 
 func (c *mockCtx) Obs() *obs.Observer { return c.obs }
+
+func (c *mockCtx) Dec() *dectrace.Tracer { return c.dec }
 
 func (c *mockCtx) Scratch() *Scratch { return c.scratch }
 

@@ -11,6 +11,7 @@ package policies
 
 import (
 	"coalloc/internal/cluster"
+	"coalloc/internal/dectrace"
 	"coalloc/internal/obs"
 	"coalloc/internal/workload"
 )
@@ -33,6 +34,12 @@ type Ctx interface {
 	// Policies report scheduling passes, head-of-queue misses and
 	// backfill decisions into it; all observer methods are nil-safe.
 	Obs() *obs.Observer
+	// Dec returns the run's decision tracer, or nil when decision
+	// tracing is off. Policies report the counterfactual side of their
+	// decisions into it — head misses with feasible unchosen placements,
+	// reservations with the alternatives the profile offered, rejected
+	// backfill candidates; all tracer methods are nil-safe.
+	Dec() *dectrace.Tracer
 	// Scratch returns the run's shared scheduling scratch buffers.
 	// Exactly one policy pass runs at a time (a simulation run is
 	// single-threaded), so one set per run suffices.

@@ -82,6 +82,7 @@ func (p *SPF) pass(ctx Ctx) {
 		head := p.jobs[0]
 		if !m.PlaceInto(head.Components, p.fit, s.Place, s.Used) {
 			o.HeadMiss(workload.GlobalQueue)
+			ctx.Dec().HeadMiss(ctx.Now(), head, m, p.fit)
 			p.blocked = true
 			return
 		}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"coalloc/internal/cluster"
+	"coalloc/internal/dectrace"
 	"coalloc/internal/obs"
 	"coalloc/internal/workload"
 )
@@ -21,6 +22,7 @@ type arenaCtx struct {
 func (c *arenaCtx) Cluster() *cluster.Multicluster { return c.m }
 func (c *arenaCtx) Now() float64                   { return 0 }
 func (c *arenaCtx) Obs() *obs.Observer             { return nil }
+func (c *arenaCtx) Dec() *dectrace.Tracer          { return nil }
 func (c *arenaCtx) Scratch() *Scratch              { return c.scratch }
 
 func (c *arenaCtx) Dispatch(j *workload.Job, placement []int) {

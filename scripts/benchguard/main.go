@@ -6,8 +6,8 @@
 //	    go run ./scripts/benchguard -record BENCH_3.json -key smoke
 //
 // Benchmarks matching -match (default: the macro benchmarks Fig5 and
-// BackfillPolicies/*, plus the zero-failure-rate fault-path runs
-// FaultPathDisabled/*) fail the run when their allocs/op exceed the
+// BackfillPolicies/*, plus the zero-overhead-when-off contract runs
+// FaultPathDisabled/* and DecisionPathDisabled/*) fail the run when their allocs/op exceed the
 // recorded value by more than -max-regress (default 10%), or — when
 // -max-time-regress is positive — when their ns/op exceed the recorded
 // value by more than that fraction. A recorded matching benchmark missing
@@ -71,7 +71,7 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+)
 func main() {
 	record := flag.String("record", "BENCH_3.json", "benchmark record written by scripts/benchjson")
 	key := flag.String("key", "smoke", "snapshot key holding the reference measurements")
-	match := flag.String("match", `^BenchmarkFig5$|^BenchmarkBackfillPolicies/|^BenchmarkFaultPathDisabled/`, "regexp selecting the guarded benchmarks")
+	match := flag.String("match", `^BenchmarkFig5$|^BenchmarkBackfillPolicies/|^BenchmarkFaultPathDisabled/|^BenchmarkDecisionPathDisabled/`, "regexp selecting the guarded benchmarks")
 	maxRegress := flag.Float64("max-regress", 0.10, "allowed fractional allocs/op increase over the record")
 	maxTimeRegress := flag.Float64("max-time-regress", 0, "allowed fractional ns/op increase over the record (0 = no time gate)")
 	speedupBase := flag.String("speedup-base", "", "slow (baseline) benchmark name for the in-run speedup gate")
